@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section.  The experiment runners are deterministic simulations, so each
+benchmark executes a single round (the interesting output is the printed
+table and the shape assertions, not timing statistics) and prints the
+reproduced table next to the paper's published numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the benchmarks from a source checkout without installing.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once():
+    """Fixture exposing :func:`run_once` to the benchmark modules."""
+    return run_once

@@ -1,0 +1,28 @@
+"""Figure 1 — bitwidth variation across the benchmark DNNs.
+
+Regenerates the multiply-add and weight bitwidth distributions of Figure 1
+and checks the qualitative claims the introduction builds on: the dominant
+bitwidth pair of every benchmark matches the paper, the vast majority of
+multiply-adds need four or fewer bits, and multiply-adds account for >99% of
+all operations.
+"""
+
+from __future__ import annotations
+
+from repro.harness import paper_data
+from repro.harness.experiments import fig01_bitwidths
+
+
+def test_fig01_bitwidth_distribution(benchmark, bench_once, capsys):
+    rows = bench_once(benchmark, fig01_bitwidths.run)
+
+    with capsys.disabled():
+        print()
+        print(fig01_bitwidths.format_table(rows))
+
+    assert len(rows) == 8
+    for row in rows:
+        assert row.dominant_bits == paper_data.FIG1_DOMINANT_BITWIDTHS[row.benchmark]
+        assert row.mac_op_fraction > 0.99
+    average_low_precision = sum(row.macs_at_or_below_4bit for row in rows) / len(rows)
+    assert average_low_precision > 0.9  # paper: 97.3% on average

@@ -1,0 +1,35 @@
+"""Figure 10 — Fusion Unit versus temporal design: area, power, same-area throughput."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import paper_data
+from repro.harness.experiments import fig10_fusion_unit
+
+
+def test_fig10_fusion_unit_area_power(benchmark, bench_once, capsys):
+    rows = bench_once(benchmark, fig10_fusion_unit.run)
+
+    with capsys.disabled():
+        print()
+        print(fig10_fusion_unit.format_table(rows))
+        print()
+        from repro.harness.reporting import format_table
+
+        print(
+            format_table(
+                fig10_fusion_unit.run_throughput_advantage(),
+                title="Same-area throughput: spatial fusion vs temporal design",
+            )
+        )
+
+    paper_area, paper_power = paper_data.FIG10_FUSION_VS_TEMPORAL
+    totals = {(row.metric, row.component): row.reduction for row in rows}
+    assert totals[("area (um^2)", "total")] == pytest.approx(paper_area, rel=0.05)
+    assert totals[("power (nW)", "total")] == pytest.approx(paper_power, rel=0.05)
+    # The temporal design's registers are its dominant overhead (16x in the paper).
+    assert totals[("area (um^2)", "register")] == pytest.approx(16.0, rel=0.05)
+
+    advantage = fig10_fusion_unit.run_throughput_advantage()
+    assert all(row["advantage"] > 1.0 for row in advantage)

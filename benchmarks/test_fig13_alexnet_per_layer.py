@@ -1,0 +1,34 @@
+"""Figure 13 (embedded data) — per-layer AlexNet improvement over Eyeriss.
+
+The arXiv source embeds a per-layer-group table for AlexNet; the reproduced
+per-group speedups match it closely (conv 8/8 ~1.7x, conv 4/1 ~6.4x,
+fc 4/1 ~3.3x, fc 8/8 ~1.0x), which validates the performance model at layer
+granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import paper_data
+from repro.harness.experiments import fig13_eyeriss
+from repro.harness.reporting import format_table
+
+
+def test_fig13_alexnet_per_layer(benchmark, bench_once, capsys):
+    rows = bench_once(benchmark, fig13_eyeriss.run_alexnet_per_layer)
+
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="AlexNet per-layer improvement over Eyeriss"))
+
+    by_group = {row["layer group"]: row for row in rows}
+    assert set(by_group) == set(paper_data.FIG13_ALEXNET_PER_LAYER)
+
+    # The reduced-precision convolutions gain far more than the 8-bit ones.
+    assert by_group["conv 4/1-bit"]["speedup"] > 2 * by_group["conv 8/8-bit"]["speedup"]
+    # The 8-bit classifier sees essentially no speedup (paper: 1.01x).
+    assert by_group["fc 8/8-bit"]["speedup"] == pytest.approx(1.0, abs=0.35)
+    # Per-group speedups land close to the published values.
+    for group, (paper_speedup, _) in paper_data.FIG13_ALEXNET_PER_LAYER.items():
+        assert by_group[group]["speedup"] == pytest.approx(paper_speedup, rel=0.45)

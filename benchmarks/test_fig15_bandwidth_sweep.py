@@ -1,0 +1,32 @@
+"""Figure 15 — sensitivity of Bit Fusion performance to off-chip bandwidth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import fig15_bandwidth
+
+
+def test_fig15_bandwidth_sensitivity(benchmark, bench_once, capsys):
+    rows = bench_once(benchmark, fig15_bandwidth.run)
+
+    with capsys.disabled():
+        print()
+        print(fig15_bandwidth.format_table(rows))
+
+    by_benchmark = {row.benchmark: row.speedup_by_bandwidth for row in rows}
+    assert len(by_benchmark) == 8
+
+    for name, sweep in by_benchmark.items():
+        # Normalized to the 128 bits/cycle default.
+        assert sweep[128] == pytest.approx(1.0)
+        # More bandwidth never hurts; less bandwidth never helps.
+        assert sweep[32] <= sweep[64] <= sweep[128] <= sweep[256] <= sweep[512], name
+
+    # The recurrent benchmarks are bandwidth-bound and scale almost linearly
+    # (paper: 4x speedup at 4x bandwidth), while the CNNs saturate well below 4x.
+    for name in ("LSTM", "RNN"):
+        assert by_benchmark[name][512] > 3.0
+        assert by_benchmark[name][32] < 0.35
+    for name in ("AlexNet", "Cifar-10", "SVHN", "VGG-7"):
+        assert by_benchmark[name][512] < by_benchmark["RNN"][512]

@@ -1,0 +1,35 @@
+"""Figure 16 — sensitivity of Bit Fusion performance to batch size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import fig16_batch
+
+
+def test_fig16_batch_sensitivity(benchmark, bench_once, capsys):
+    rows = bench_once(benchmark, fig16_batch.run)
+
+    with capsys.disabled():
+        print()
+        print(fig16_batch.format_table(rows))
+
+    by_benchmark = {row.benchmark: row.speedup_by_batch for row in rows}
+    assert len(by_benchmark) == 8
+
+    for name, sweep in by_benchmark.items():
+        assert sweep[1] == pytest.approx(1.0)
+        # Batching amortizes weight reads: per-inference latency never gets worse.
+        assert sweep[4] >= 0.99, name
+        assert sweep[256] >= sweep[4] * 0.99, name
+
+    # The weight-bound recurrent benchmarks gain an order of magnitude
+    # (paper: >20x), the convolutional benchmarks gain modestly (<2x).
+    for name in ("LSTM", "RNN"):
+        assert by_benchmark[name][256] > 8.0
+    for name in ("AlexNet", "Cifar-10", "ResNet-18", "SVHN", "VGG-7"):
+        assert by_benchmark[name][256] < 4.0
+
+    # Gains flatten once the batch is large enough to hide the weight traffic.
+    for name, sweep in by_benchmark.items():
+        assert sweep[256] <= sweep[64] * 1.8, name

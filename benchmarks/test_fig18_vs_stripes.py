@@ -1,0 +1,33 @@
+"""Figure 18 — Bit Fusion speedup and energy reduction over Stripes."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig18_stripes
+
+
+def test_fig18_speedup_and_energy_vs_stripes(benchmark, bench_once, capsys):
+    summary = bench_once(benchmark, fig18_stripes.run)
+
+    with capsys.disabled():
+        print()
+        print(fig18_stripes.format_table(summary))
+
+    rows = {row.benchmark: row for row in summary.rows}
+    assert len(rows) == 8
+
+    # Bit Fusion never loses to Stripes.
+    assert all(row.speedup >= 1.0 for row in summary.rows)
+    assert all(row.energy_reduction > 1.0 for row in summary.rows)
+
+    # Shape: benchmarks with low *input* bitwidths (which Stripes cannot
+    # exploit) gain the most; AlexNet with its 8-bit layers and the
+    # memory-bound recurrent networks gain the least.
+    assert rows["LeNet-5"].speedup > rows["AlexNet"].speedup
+    assert rows["Cifar-10"].speedup > rows["LSTM"].speedup
+    assert min(row.speedup for row in summary.rows) == min(
+        rows["LSTM"].speedup, rows["RNN"].speedup
+    )
+
+    # Geomeans sit in the small-multiple band the paper reports (2.6x / 3.9x).
+    assert 1.5 < summary.geomean_speedup < 8.0
+    assert 1.5 < summary.geomean_energy_reduction < 10.0

@@ -1,0 +1,25 @@
+"""Section IV — Fusion-ISA instruction-block statistics across the benchmarks."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import isa_stats
+
+
+def test_isa_block_sizes(benchmark, bench_once, capsys):
+    rows = bench_once(benchmark, isa_stats.run)
+
+    with capsys.disabled():
+        print()
+        print(isa_stats.format_table(rows))
+
+    assert len(rows) == 8
+    for row in rows:
+        # The paper reports 30-86 instructions per block; the reproduction's
+        # compiler lands in the same few-tens band for every layer.
+        assert 20 <= row.min_instructions
+        assert row.max_instructions <= 90
+        assert row.min_instructions <= row.mean_instructions <= row.max_instructions
+        # Whole-network programs stay tiny (a few kilobytes), which is the
+        # point of the block-structured ISA.
+        assert row.binary_bytes < 16 * 1024
+        assert row.blocks >= 2

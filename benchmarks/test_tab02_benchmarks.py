@@ -1,0 +1,27 @@
+"""Table II — benchmark characteristics (multiply-adds and model weights)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import paper_data
+from repro.harness.experiments import tab02_benchmarks
+
+
+def test_tab02_benchmark_characteristics(benchmark, bench_once, capsys):
+    rows = bench_once(benchmark, tab02_benchmarks.run)
+
+    with capsys.disabled():
+        print()
+        print(tab02_benchmarks.format_table(rows))
+
+    assert len(rows) == 8
+    for row in rows:
+        # Workload sizes track the published Table II values.
+        assert row.macs_mops == pytest.approx(row.paper_macs_mops, rel=0.30)
+        assert row.macs_mops > 0
+        assert row.weights_mb > 0
+    # The relative ordering of workload sizes matches the paper.
+    ordered = sorted(rows, key=lambda row: row.macs_mops)
+    assert ordered[0].benchmark in ("LeNet-5", "LSTM")
+    assert ordered[-1].benchmark in ("ResNet-18", "AlexNet")

@@ -1,0 +1,27 @@
+"""Table III — evaluated ASIC, GPU and Bit Fusion platform configurations."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import tab03_platforms
+
+
+def test_tab03_platforms(benchmark, bench_once, capsys):
+    rows = bench_once(benchmark, tab03_platforms.run)
+
+    with capsys.disabled():
+        print()
+        print(tab03_platforms.format_table(rows))
+
+    platforms = {row.platform for row in rows}
+    assert len(rows) == 7
+    assert any("Eyeriss" in platform for platform in platforms)
+    assert any("Stripes" in platform for platform in platforms)
+    assert any("Tegra" in platform for platform in platforms)
+    assert any("Titan" in platform for platform in platforms)
+
+    eyeriss_matched = next(row for row in rows if "Eyeriss-matched" in row.platform)
+    assert "512 Fusion Units" in eyeriss_matched.compute_units
+    assert eyeriss_matched.frequency_mhz == 500.0
+
+    gpu_scaled = next(row for row in rows if "16 nm" in row.platform)
+    assert "4096 Fusion Units" in gpu_scaled.compute_units

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e . --no-use-pep517``) work on
+systems without the ``wheel`` package, e.g. fully offline environments.
+"""
+
+from setuptools import setup
+
+setup()

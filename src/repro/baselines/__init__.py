@@ -1,0 +1,40 @@
+"""Baseline accelerator models the paper compares Bit Fusion against.
+
+Section V of the paper evaluates Bit Fusion against four classes of
+baselines; each has a model here that produces the same
+:class:`~repro.sim.results.NetworkResult` records as the Bit Fusion
+simulator so the experiment harness can compute speedups and energy ratios
+uniformly:
+
+* :mod:`repro.baselines.eyeriss`  — the 168-PE row-stationary Eyeriss
+  accelerator operating on 16-bit operands (Figures 13, 14).
+* :mod:`repro.baselines.stripes`  — the bit-serial Stripes accelerator with
+  16-bit inputs and serial variable-bitwidth weights (Figure 18).
+* :mod:`repro.baselines.temporal` — the purely temporal variable-bitwidth
+  design of Figures 8/10, used for the area/power comparison and the
+  same-area throughput ablation.
+* :mod:`repro.baselines.gpu`      — roofline models of the Tegra X2 and
+  Titan Xp GPUs in FP32 and INT8 modes (Figure 17).
+"""
+
+from repro.baselines.base import AcceleratorModel, dram_traffic_for_workload
+from repro.baselines.eyeriss import EyerissConfig, EyerissModel
+from repro.baselines.stripes import StripesConfig, StripesModel
+from repro.baselines.temporal import TemporalDesignComparison, TemporalDesignModel
+from repro.baselines.gpu import GpuSpec, GpuModel, GpuPrecision, TEGRA_X2, TITAN_XP
+
+__all__ = [
+    "AcceleratorModel",
+    "dram_traffic_for_workload",
+    "EyerissConfig",
+    "EyerissModel",
+    "StripesConfig",
+    "StripesModel",
+    "TemporalDesignComparison",
+    "TemporalDesignModel",
+    "GpuSpec",
+    "GpuModel",
+    "GpuPrecision",
+    "TEGRA_X2",
+    "TITAN_XP",
+]

@@ -1,0 +1,225 @@
+"""Eyeriss baseline model (Chen et al., ISCA 2016 — the paper's Figure 13/14 comparison).
+
+Eyeriss is a 168-PE spatial accelerator with a row-stationary dataflow.
+Each PE holds a 16-bit multiply-accumulate datapath and a ~0.5 KB register
+file; a shared global buffer (181.5 KB in the configuration of Table III)
+staggers data between DRAM and the PE array.  Every operand is processed at
+16 bits regardless of the precision the quantized model could tolerate —
+this fixed precision is exactly the deficiency Bit Fusion addresses.
+
+The model follows the methodology the paper describes:
+
+* **Performance** — the PE array retires at most 168 multiply-accumulates
+  per cycle; the row-stationary mapping achieves a layer-type-dependent
+  fraction of that peak (convolutions map well, fully-connected and
+  recurrent layers poorly).  Off-chip transfers at 16 bits overlap with
+  compute (Eyeriss double-buffers its global buffer), so a layer's latency
+  is the maximum of the two.
+* **Energy** — per-MAC datapath energy, per-MAC register-file traffic
+  (the RF accesses dominate Eyeriss energy in Figure 14), global-buffer
+  accesses and DRAM traffic, each priced with the same 45 nm models used
+  for Bit Fusion and scaled to the configured technology node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.core.config import TechnologyNode
+from repro.dnn.layers import ConvLayer, Layer
+from repro.dnn.network import Network
+from repro.energy.breakdown import EnergyBreakdown
+from repro.energy.cacti import SramEnergyModel
+from repro.energy.components import ComputeEnergyModel
+from repro.energy.dram import DramEnergyModel
+from repro.baselines.base import AcceleratorModel, layer_gemm_workload
+from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+
+__all__ = ["EyerissConfig", "EyerissModel"]
+
+
+@dataclass(frozen=True)
+class EyerissConfig:
+    """Eyeriss platform parameters (Table III, scaled to 45 nm).
+
+    Attributes
+    ----------
+    pe_count:
+        Processing elements in the spatial array.
+    frequency_mhz:
+        Clock frequency used for the comparison (the paper runs both
+        accelerators at 500 MHz).
+    operand_bits:
+        Fixed operand precision of the datapath.
+    global_buffer_kb:
+        Shared on-chip SRAM capacity.
+    rf_bytes_per_pe:
+        Per-PE register file capacity.
+    dram_bandwidth_bits_per_cycle:
+        Off-chip bandwidth, matched to the Bit Fusion configuration.
+    conv_utilization / fc_utilization:
+        Fraction of the 168-MAC/cycle peak the row-stationary mapping
+        achieves for convolutional and fully-connected/recurrent layers.
+    rf_accesses_per_mac:
+        Register-file accesses charged per multiply-accumulate.
+    glb_accesses_per_mac:
+        Global-buffer accesses charged per multiply-accumulate (most reuse
+        is filtered by the register files).
+    """
+
+    pe_count: int = 168
+    frequency_mhz: float = 500.0
+    operand_bits: int = 16
+    global_buffer_kb: float = 181.5
+    rf_bytes_per_pe: float = 512.0
+    dram_bandwidth_bits_per_cycle: int = 128
+    conv_utilization: float = 0.85
+    fc_utilization: float = 0.70
+    rf_accesses_per_mac: float = 4.0
+    glb_accesses_per_mac: float = 0.25
+    technology: TechnologyNode = field(default_factory=TechnologyNode.nm45)
+    batch_size: int = 16
+    name: str = "eyeriss"
+
+    def __post_init__(self) -> None:
+        if self.pe_count <= 0:
+            raise ValueError(f"pe_count must be positive, got {self.pe_count}")
+        if not 0.0 < self.conv_utilization <= 1.0:
+            raise ValueError(f"conv_utilization must be in (0, 1], got {self.conv_utilization}")
+        if not 0.0 < self.fc_utilization <= 1.0:
+            raise ValueError(f"fc_utilization must be in (0, 1], got {self.fc_utilization}")
+
+
+class EyerissModel(AcceleratorModel):
+    """Performance/energy model of the Eyeriss baseline."""
+
+    def __init__(self, config: EyerissConfig | None = None) -> None:
+        self.config = config if config is not None else EyerissConfig()
+        self.name = self.config.name
+        self._compute_energy = ComputeEnergyModel(technology=self.config.technology)
+        self._glb = SramEnergyModel(
+            capacity_kb=self.config.global_buffer_kb, access_bits=64
+        )
+        scale = self.config.technology.energy_scale
+        self._dram = DramEnergyModel(pj_per_bit=DramEnergyModel().pj_per_bit * scale)
+
+    # ------------------------------------------------------------------ #
+    # Per-layer modelling
+    # ------------------------------------------------------------------ #
+    def _utilization(self, layer: Layer) -> float:
+        if isinstance(layer, ConvLayer):
+            return self.config.conv_utilization
+        return self.config.fc_utilization
+
+    def _compute_cycles(self, layer: Layer, macs: int) -> int:
+        peak = self.config.pe_count * self._utilization(layer)
+        return ceil(macs / peak)
+
+    def _run_compute_layer(self, layer: Layer, batch_size: int) -> LayerResult:
+        cfg = self.config
+        workload = layer_gemm_workload(
+            layer,
+            batch_size,
+            input_bits=cfg.operand_bits,
+            weight_bits=cfg.operand_bits,
+            output_bits=cfg.operand_bits,
+        )
+        macs = workload.macs
+        compute_cycles = self._compute_cycles(layer, macs)
+
+        # Off-chip traffic at 16 bits.  Eyeriss' row-stationary dataflow plus
+        # its per-PE register files achieve near-ideal reuse of all three
+        # tensors (that is the point of the design), so each tensor is
+        # charged a single DRAM transfer per batch.  This is deliberately
+        # generous to the baseline; under-modelling Eyeriss would overstate
+        # Bit Fusion's advantage.
+        dram_read_bits = workload.weight_footprint_bits + workload.input_footprint_bits
+        dram_write_bits = workload.output_footprint_bits
+        memory_cycles = ceil(
+            (dram_read_bits + dram_write_bits) / cfg.dram_bandwidth_bits_per_cycle
+        )
+
+        rf_bits = int(macs * cfg.rf_accesses_per_mac * cfg.operand_bits)
+        glb_bits = int(macs * cfg.glb_accesses_per_mac * cfg.operand_bits)
+        traffic = MemoryTraffic(
+            dram_read_bits=int(dram_read_bits),
+            dram_write_bits=int(dram_write_bits),
+            ibuf_read_bits=glb_bits,
+            register_file_bits=rf_bits,
+        )
+
+        scale = cfg.technology.energy_scale
+        energy = EnergyBreakdown(
+            compute=macs * self._compute_energy.eyeriss_mac_energy_pj() * 1e-12,
+            buffers=self._glb.energy_for_bits_j(glb_bits) * scale,
+            register_file=macs
+            * self._compute_energy.eyeriss_rf_energy_per_mac_pj(cfg.rf_accesses_per_mac)
+            * 1e-12,
+            dram=self._dram.energy_for_bits_j(dram_read_bits + dram_write_bits),
+        )
+        return LayerResult(
+            name=layer.name,
+            macs=macs,
+            input_bits=cfg.operand_bits,
+            weight_bits=cfg.operand_bits,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            overhead_cycles=0,
+            traffic=traffic,
+            energy=energy,
+            utilization=self._utilization(layer),
+        )
+
+    def _run_auxiliary_layer(self, layer: Layer, batch_size: int) -> LayerResult:
+        """Pooling/activation layers: streamed at 16 bits through the buffer."""
+        cfg = self.config
+        moved_bits = (
+            (layer.input_elements() + layer.output_elements())
+            * batch_size
+            * cfg.operand_bits
+        )
+        memory_cycles = ceil(moved_bits / cfg.dram_bandwidth_bits_per_cycle)
+        traffic = MemoryTraffic(
+            dram_read_bits=layer.input_elements() * batch_size * cfg.operand_bits,
+            dram_write_bits=layer.output_elements() * batch_size * cfg.operand_bits,
+        )
+        energy = EnergyBreakdown(dram=self._dram.energy_for_bits_j(moved_bits))
+        return LayerResult(
+            name=layer.name,
+            macs=0,
+            input_bits=cfg.operand_bits,
+            weight_bits=cfg.operand_bits,
+            compute_cycles=0,
+            memory_cycles=memory_cycles,
+            traffic=traffic,
+            energy=energy,
+            utilization=0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Network execution
+    # ------------------------------------------------------------------ #
+    def run(self, network: Network, batch_size: int | None = None) -> NetworkResult:
+        batch = self.config.batch_size if batch_size is None else batch_size
+        layers = []
+        for layer in network:
+            if layer.has_gemm():
+                layers.append(self._run_compute_layer(layer, batch))
+            else:
+                layers.append(self._run_auxiliary_layer(layer, batch))
+        return NetworkResult(
+            network_name=network.name,
+            platform=self.name,
+            batch_size=batch,
+            frequency_mhz=self.config.frequency_mhz,
+            layers=tuple(layers),
+        )
+
+    def describe(self) -> str:
+        cfg = self.config
+        return (
+            f"Eyeriss: {cfg.pe_count} PEs at {cfg.frequency_mhz:.0f} MHz, "
+            f"{cfg.operand_bits}-bit operands, {cfg.global_buffer_kb:.1f} KB global buffer, "
+            f"{cfg.technology.name}"
+        )

@@ -1,0 +1,217 @@
+"""Stripes baseline model (Judd et al., MICRO 2016 — the paper's Figure 18 comparison).
+
+Stripes accelerates DNNs with *bit-serial* arithmetic: its Serial
+Inner-Product units (SIPs) hold the 16-bit input operand in parallel and
+stream the weight operand one bit per cycle, so a layer whose weights need
+``w`` bits finishes in time proportional to ``w``.  Inputs, however, stay at
+16 bits — Stripes exploits precision flexibility on one operand only, which
+is the axis on which Bit Fusion improves on it.
+
+Configuration follows Table III and Section V-A: 16 tiles of 4,096 SIPs at
+980 MHz in 45 nm, with a 2 MB eDRAM-class on-chip store.  The paper's
+comparison drops a Bit Fusion systolic array of 512 Fusion Units into each
+tile's area budget; the matching Bit Fusion configuration is
+:meth:`repro.core.config.BitFusionConfig.stripes_matched`.
+
+Model structure mirrors :class:`~repro.baselines.eyeriss.EyerissModel`:
+layer-type utilization factors on the compute side, the shared
+tiling/loop-order machinery for off-chip traffic at Stripes' operand widths
+(16-bit inputs, serial ``w``-bit weights), and the common energy components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.core.config import TechnologyNode
+from repro.dnn.layers import ConvLayer, Layer
+from repro.dnn.network import Network
+from repro.energy.breakdown import EnergyBreakdown
+from repro.energy.cacti import SramEnergyModel
+from repro.energy.components import ComputeEnergyModel
+from repro.energy.dram import DramEnergyModel
+from repro.baselines.base import (
+    AcceleratorModel,
+    dram_traffic_for_workload,
+    layer_gemm_workload,
+)
+from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+
+__all__ = ["StripesConfig", "StripesModel"]
+
+
+@dataclass(frozen=True)
+class StripesConfig:
+    """Stripes platform parameters (Table III).
+
+    Attributes
+    ----------
+    tiles, sips_per_tile:
+        16 tiles of 4,096 SIPs in the evaluated configuration.
+    input_bits:
+        Fixed parallel precision of the input operand.
+    max_weight_bits:
+        Largest serial weight precision supported (16).
+    eDRAM_kb, sram_kb:
+        On-chip storage (2 MB eDRAM + 16 KB SRAM per Table III).
+    """
+
+    tiles: int = 16
+    sips_per_tile: int = 4096
+    frequency_mhz: float = 980.0
+    input_bits: int = 16
+    max_weight_bits: int = 16
+    edram_kb: float = 2048.0
+    sram_kb: float = 16.0
+    dram_bandwidth_bits_per_cycle: int = 256
+    conv_utilization: float = 0.85
+    fc_utilization: float = 0.70
+    technology: TechnologyNode = field(default_factory=TechnologyNode.nm45)
+    batch_size: int = 16
+    name: str = "stripes"
+
+    def __post_init__(self) -> None:
+        if self.tiles <= 0 or self.sips_per_tile <= 0:
+            raise ValueError("tiles and sips_per_tile must be positive")
+        if self.input_bits not in (8, 16):
+            raise ValueError(f"input_bits must be 8 or 16, got {self.input_bits}")
+
+    @property
+    def total_sips(self) -> int:
+        return self.tiles * self.sips_per_tile
+
+
+class StripesModel(AcceleratorModel):
+    """Performance/energy model of the Stripes baseline."""
+
+    def __init__(self, config: StripesConfig | None = None) -> None:
+        self.config = config if config is not None else StripesConfig()
+        self.name = self.config.name
+        self._compute_energy = ComputeEnergyModel(technology=self.config.technology)
+        self._buffer = SramEnergyModel(capacity_kb=self.config.edram_kb / 16, access_bits=64)
+        scale = self.config.technology.energy_scale
+        self._dram = DramEnergyModel(pj_per_bit=DramEnergyModel().pj_per_bit * scale)
+
+    # ------------------------------------------------------------------ #
+    # Per-layer modelling
+    # ------------------------------------------------------------------ #
+    def serial_weight_bits(self, layer: Layer) -> int:
+        """Serial cycles per multiply-accumulate for this layer's weights."""
+        return max(1, min(layer.weight_bits, self.config.max_weight_bits))
+
+    def _utilization(self, layer: Layer) -> float:
+        if isinstance(layer, ConvLayer):
+            return self.config.conv_utilization
+        return self.config.fc_utilization
+
+    def _run_compute_layer(self, layer: Layer, batch_size: int) -> LayerResult:
+        cfg = self.config
+        weight_bits = self.serial_weight_bits(layer)
+        workload = layer_gemm_workload(
+            layer,
+            batch_size,
+            input_bits=cfg.input_bits,
+            weight_bits=weight_bits,
+            output_bits=cfg.input_bits,
+        )
+        macs = workload.macs
+
+        # Bit-serial throughput: each SIP needs `weight_bits` cycles per MAC.
+        peak_macs_per_cycle = cfg.total_sips / weight_bits
+        compute_cycles = ceil(macs / (peak_macs_per_cycle * self._utilization(layer)))
+
+        tiling = dram_traffic_for_workload(
+            workload,
+            ibuf_kb=cfg.edram_kb * 0.4,
+            wbuf_kb=cfg.edram_kb * 0.4,
+            obuf_kb=cfg.edram_kb * 0.2,
+        )
+        dram_read_bits = (
+            tiling.dram_weight_bits + tiling.dram_input_bits + tiling.dram_output_read_bits
+        )
+        dram_write_bits = tiling.dram_output_write_bits
+        memory_cycles = ceil(
+            (dram_read_bits + dram_write_bits) / cfg.dram_bandwidth_bits_per_cycle
+        )
+
+        # On-chip traffic: inputs at the fixed 16-bit width once per MAC
+        # group, weights re-streamed serially (one bit per cycle per SIP).
+        ibuf_bits = int(macs * cfg.input_bits / 16)  # shared across a 16-SIP row group
+        wbuf_bits = int(macs * weight_bits)
+        obuf_bits = int(workload.m * workload.r * 32 * max(1, tiling.n_tiles))
+        traffic = MemoryTraffic(
+            dram_read_bits=int(dram_read_bits),
+            dram_write_bits=int(dram_write_bits),
+            ibuf_read_bits=ibuf_bits,
+            wbuf_read_bits=wbuf_bits,
+            obuf_write_bits=obuf_bits,
+        )
+
+        scale = cfg.technology.energy_scale
+        energy = EnergyBreakdown(
+            compute=macs * self._compute_energy.stripes_mac_energy_pj(weight_bits) * 1e-12,
+            buffers=self._buffer.energy_for_bits_j(ibuf_bits + wbuf_bits + obuf_bits) * scale,
+            register_file=0.0,
+            dram=self._dram.energy_for_bits_j(dram_read_bits + dram_write_bits),
+        )
+        return LayerResult(
+            name=layer.name,
+            macs=macs,
+            input_bits=cfg.input_bits,
+            weight_bits=weight_bits,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            traffic=traffic,
+            energy=energy,
+            utilization=self._utilization(layer),
+        )
+
+    def _run_auxiliary_layer(self, layer: Layer, batch_size: int) -> LayerResult:
+        cfg = self.config
+        moved_bits = (
+            (layer.input_elements() + layer.output_elements()) * batch_size * cfg.input_bits
+        )
+        memory_cycles = ceil(moved_bits / cfg.dram_bandwidth_bits_per_cycle)
+        traffic = MemoryTraffic(
+            dram_read_bits=layer.input_elements() * batch_size * cfg.input_bits,
+            dram_write_bits=layer.output_elements() * batch_size * cfg.input_bits,
+        )
+        energy = EnergyBreakdown(dram=self._dram.energy_for_bits_j(moved_bits))
+        return LayerResult(
+            name=layer.name,
+            macs=0,
+            input_bits=cfg.input_bits,
+            weight_bits=cfg.input_bits,
+            compute_cycles=0,
+            memory_cycles=memory_cycles,
+            traffic=traffic,
+            energy=energy,
+            utilization=0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Network execution
+    # ------------------------------------------------------------------ #
+    def run(self, network: Network, batch_size: int | None = None) -> NetworkResult:
+        batch = self.config.batch_size if batch_size is None else batch_size
+        layers = []
+        for layer in network:
+            if layer.has_gemm():
+                layers.append(self._run_compute_layer(layer, batch))
+            else:
+                layers.append(self._run_auxiliary_layer(layer, batch))
+        return NetworkResult(
+            network_name=network.name,
+            platform=self.name,
+            batch_size=batch,
+            frequency_mhz=self.config.frequency_mhz,
+            layers=tuple(layers),
+        )
+
+    def describe(self) -> str:
+        cfg = self.config
+        return (
+            f"Stripes: {cfg.tiles}x{cfg.sips_per_tile} SIPs at {cfg.frequency_mhz:.0f} MHz, "
+            f"{cfg.input_bits}-bit inputs x serial weights, {cfg.technology.name}"
+        )

@@ -1,0 +1,160 @@
+"""The purely temporal variable-bitwidth design (Figures 8 and 10).
+
+Section III-C contrasts Bit Fusion's *spatial fusion* with a *temporal*
+design in which each 2-bit multiplier iterates over the operand slices
+across cycles, accumulating shifted partial products in a private register.
+The temporal approach also offers bitwidth flexibility, but its per-unit
+shifter and wide accumulator dominate area and power once 16-bit operands
+must be supported — Figure 10 reports the synthesized comparison at equal
+BitBrick count (3.5x more area, 3.2x more power than the hybrid Fusion
+Unit).
+
+Two things are modelled here:
+
+* :class:`TemporalDesignComparison` reproduces the Figure 10 table from the
+  published synthesis constants.
+* :class:`TemporalDesignModel` answers the follow-on question the figure
+  implies: in the *same silicon area*, how much throughput does a temporal
+  design deliver relative to Bit Fusion?  The temporal unit retires one
+  2-bit x 2-bit product per cycle per unit and needs
+  ``ceil(a/2) x ceil(w/2)`` cycles per multiply-accumulate, while packing
+  3.5x fewer units per mm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.energy.components import (
+    FUSION_UNIT_AREA_UM2,
+    FUSION_UNIT_POWER_NW,
+    TEMPORAL_UNIT_AREA_UM2,
+    TEMPORAL_UNIT_POWER_NW,
+    fusion_unit_area_breakdown,
+    fusion_unit_power_breakdown,
+    temporal_unit_area_breakdown,
+    temporal_unit_power_breakdown,
+)
+
+__all__ = ["TemporalDesignComparison", "TemporalDesignModel"]
+
+
+@dataclass(frozen=True)
+class TemporalDesignComparison:
+    """The Figure 10 area/power comparison at 16 BitBricks per unit."""
+
+    fusion_area_um2: float = FUSION_UNIT_AREA_UM2
+    temporal_area_um2: float = TEMPORAL_UNIT_AREA_UM2
+    fusion_power_nw: float = FUSION_UNIT_POWER_NW
+    temporal_power_nw: float = TEMPORAL_UNIT_POWER_NW
+
+    @property
+    def area_reduction(self) -> float:
+        """Area advantage of the hybrid Fusion Unit (paper: 3.5x)."""
+        return self.temporal_area_um2 / self.fusion_area_um2
+
+    @property
+    def power_reduction(self) -> float:
+        """Power advantage of the hybrid Fusion Unit (paper: 3.2x)."""
+        return self.temporal_power_nw / self.fusion_power_nw
+
+    def area_rows(self) -> list[dict[str, float | str]]:
+        """Per-component area rows of the Figure 10 table (µm²)."""
+        fusion = fusion_unit_area_breakdown()
+        temporal = temporal_unit_area_breakdown()
+        rows: list[dict[str, float | str]] = []
+        for component in ("bitbricks", "shift_add", "register"):
+            rows.append(
+                {
+                    "component": component,
+                    "temporal_um2": temporal[component],
+                    "fusion_um2": fusion[component],
+                    "reduction": temporal[component] / fusion[component],
+                }
+            )
+        rows.append(
+            {
+                "component": "total",
+                "temporal_um2": self.temporal_area_um2,
+                "fusion_um2": self.fusion_area_um2,
+                "reduction": self.area_reduction,
+            }
+        )
+        return rows
+
+    def power_rows(self) -> list[dict[str, float | str]]:
+        """Per-component power rows of the Figure 10 table (nW)."""
+        fusion = fusion_unit_power_breakdown()
+        temporal = temporal_unit_power_breakdown()
+        rows: list[dict[str, float | str]] = []
+        for component in ("bitbricks", "shift_add", "register"):
+            rows.append(
+                {
+                    "component": component,
+                    "temporal_nw": temporal[component],
+                    "fusion_nw": fusion[component],
+                    "reduction": temporal[component] / fusion[component],
+                }
+            )
+        rows.append(
+            {
+                "component": "total",
+                "temporal_nw": self.temporal_power_nw,
+                "fusion_nw": self.fusion_power_nw,
+                "reduction": self.power_reduction,
+            }
+        )
+        return rows
+
+
+class TemporalDesignModel:
+    """Same-area throughput comparison between temporal and spatial fusion.
+
+    Parameters
+    ----------
+    compute_area_mm2:
+        Silicon area available for compute units (the paper's budget is
+        1.1 mm²).
+    """
+
+    def __init__(self, compute_area_mm2: float = 1.1) -> None:
+        if compute_area_mm2 <= 0:
+            raise ValueError(f"compute area must be positive, got {compute_area_mm2}")
+        self.compute_area_mm2 = compute_area_mm2
+        self.comparison = TemporalDesignComparison()
+
+    @property
+    def fusion_units_in_area(self) -> int:
+        """Hybrid Fusion Units that fit in the compute-area budget."""
+        return int(self.compute_area_mm2 * 1e6 // FUSION_UNIT_AREA_UM2)
+
+    @property
+    def temporal_units_in_area(self) -> int:
+        """Temporal units (16 2-bit multipliers each) that fit in the budget."""
+        return int(self.compute_area_mm2 * 1e6 // TEMPORAL_UNIT_AREA_UM2)
+
+    @staticmethod
+    def temporal_cycles_per_mac(input_bits: int, weight_bits: int) -> int:
+        """Cycles one temporal lane needs per multiply-accumulate."""
+        if input_bits <= 0 or weight_bits <= 0:
+            raise ValueError("operand bitwidths must be positive")
+        return ceil(max(2, input_bits) / 2) * ceil(max(2, weight_bits) / 2)
+
+    def temporal_macs_per_cycle(self, input_bits: int, weight_bits: int) -> float:
+        """Same-area temporal throughput: 16 lanes per unit, serialized per MAC."""
+        lanes = self.temporal_units_in_area * 16
+        return lanes / self.temporal_cycles_per_mac(input_bits, weight_bits)
+
+    def fusion_macs_per_cycle(self, input_bits: int, weight_bits: int) -> float:
+        """Same-area Bit Fusion throughput at the given bitwidths."""
+        from repro.core.fusion_unit import fusion_config_for
+
+        config = fusion_config_for(input_bits, weight_bits)
+        return self.fusion_units_in_area * config.macs_per_cycle
+
+    def throughput_advantage(self, input_bits: int, weight_bits: int) -> float:
+        """Bit Fusion speedup over the temporal design in the same area."""
+        return self.fusion_macs_per_cycle(input_bits, weight_bits) / self.temporal_macs_per_cycle(
+            input_bits, weight_bits
+        )

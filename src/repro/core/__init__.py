@@ -1,0 +1,55 @@
+"""Core Bit Fusion architecture models.
+
+The core package contains the paper's primary contribution: the bit-level
+composable compute fabric.
+
+* :mod:`repro.core.bitbrick` — the 2-bit multiply-add element (Figure 5).
+* :mod:`repro.core.decompose` — recursive decomposition of wide multiplies
+  into 2-bit brick multiplies plus shift amounts (Equations 1–3, Figures 6, 7).
+* :mod:`repro.core.fusion_unit` — the 16-BitBrick Fusion Unit with spatial
+  fusion and the hybrid spatio-temporal 16-bit mode (Figures 2, 9, 10).
+* :mod:`repro.core.systolic` — the systolic array of Fusion Units with
+  shared input buffers, per-unit weight buffers and per-column output
+  buffers (Figures 3, 4).
+* :mod:`repro.core.config` — accelerator configuration (array geometry,
+  buffer sizes, bandwidth, frequency, technology node).
+* :mod:`repro.core.accelerator` — the top-level accelerator object tying
+  compiler, simulator and energy model together.
+"""
+
+from repro.core.bitbrick import BitBrick, BitBrickResult
+from repro.core.buffers import DataInfusionRegister, LaneLayout
+from repro.core.decompose import (
+    decompose_multiply,
+    decompose_operand,
+    recompose_product,
+    DecomposedMultiply,
+    BrickOperation,
+)
+from repro.core.fusion_unit import FusionUnit, FusionConfig, fusion_config_for
+from repro.core.pooling import ActivationUnit, PoolingUnit
+from repro.core.systolic import SystolicArray, SystolicDimensions
+from repro.core.config import BitFusionConfig, TechnologyNode
+from repro.core.accelerator import BitFusionAccelerator
+
+__all__ = [
+    "BitBrick",
+    "BitBrickResult",
+    "DataInfusionRegister",
+    "LaneLayout",
+    "decompose_multiply",
+    "decompose_operand",
+    "recompose_product",
+    "DecomposedMultiply",
+    "BrickOperation",
+    "FusionUnit",
+    "FusionConfig",
+    "fusion_config_for",
+    "PoolingUnit",
+    "ActivationUnit",
+    "SystolicArray",
+    "SystolicDimensions",
+    "BitFusionConfig",
+    "TechnologyNode",
+    "BitFusionAccelerator",
+]

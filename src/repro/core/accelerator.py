@@ -1,0 +1,115 @@
+"""Top-level Bit Fusion accelerator object.
+
+:class:`BitFusionAccelerator` is the main user-facing entry point of the
+library.  It bundles the pieces a user needs to go from a quantized network
+description to performance and energy numbers:
+
+* the hardware configuration (:class:`~repro.core.config.BitFusionConfig`),
+* the Fusion-ISA compiler (:class:`~repro.isa.compiler.FusionCompiler`),
+* the cycle/energy simulator (:class:`~repro.sim.executor.BitFusionSimulator`),
+* the functional systolic-array model for bit-exact execution of small
+  layers (:class:`~repro.core.systolic.SystolicArray`).
+
+Typical usage::
+
+    from repro import BitFusionAccelerator, BitFusionConfig
+    from repro.dnn import models
+
+    accelerator = BitFusionAccelerator(BitFusionConfig.eyeriss_matched())
+    result = accelerator.run(models.load("Cifar-10"))
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BitFusionConfig
+from repro.core.systolic import SystolicArray
+from repro.dnn.network import Network
+from repro.isa.compiler import FusionCompiler
+from repro.isa.program import Program
+from repro.sim.executor import BitFusionSimulator
+from repro.sim.results import NetworkResult
+
+__all__ = ["BitFusionAccelerator"]
+
+
+class BitFusionAccelerator:
+    """A configured Bit Fusion accelerator instance.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration.  Defaults to the paper's Eyeriss-matched
+        45 nm configuration (Table III).
+    enable_loop_ordering, enable_layer_fusion:
+        Compiler optimizations (Section IV-B); both default to on.  The
+        ablation benchmarks construct accelerators with them disabled.
+    """
+
+    def __init__(
+        self,
+        config: BitFusionConfig | None = None,
+        enable_loop_ordering: bool = True,
+        enable_layer_fusion: bool = True,
+    ) -> None:
+        self.config = config if config is not None else BitFusionConfig.eyeriss_matched()
+        self.compiler = FusionCompiler(
+            self.config,
+            enable_loop_ordering=enable_loop_ordering,
+            enable_layer_fusion=enable_layer_fusion,
+        )
+        self.simulator = BitFusionSimulator(self.config)
+
+    # ------------------------------------------------------------------ #
+    # Compilation and simulation
+    # ------------------------------------------------------------------ #
+    def compile(self, network: Network, batch_size: int | None = None) -> Program:
+        """Compile a network to a Fusion-ISA program without simulating it."""
+        return self.compiler.compile(network, batch_size=batch_size)
+
+    def run(self, network: Network, batch_size: int | None = None) -> NetworkResult:
+        """Compile and simulate a network, returning performance and energy."""
+        program = self.compile(network, batch_size=batch_size)
+        return self.simulator.run_program(program, batch_size=batch_size)
+
+    def run_program(self, program: Program, batch_size: int | None = None) -> NetworkResult:
+        """Simulate an already-compiled program."""
+        return self.simulator.run_program(program, batch_size=batch_size)
+
+    # ------------------------------------------------------------------ #
+    # Functional execution
+    # ------------------------------------------------------------------ #
+    def functional_array(self, input_bits: int, weight_bits: int) -> SystolicArray:
+        """A configured functional systolic array for bit-exact execution.
+
+        Every multiply routed through the returned array is decomposed onto
+        2-bit BitBricks and recomposed through the shift-add tree, so its
+        results can be compared bit-for-bit against NumPy integer GEMMs.
+        """
+        array = SystolicArray(self.config)
+        array.configure(max(2, input_bits), max(2, weight_bits))
+        return array
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def peak_throughput_gops(self, input_bits: int = 8, weight_bits: int = 8) -> float:
+        """Peak throughput at the given operand bitwidths (GOPS)."""
+        return self.config.peak_throughput_gops(input_bits, weight_bits)
+
+    def describe(self) -> str:
+        """One-paragraph description of the configured accelerator."""
+        cfg = self.config
+        return (
+            f"Bit Fusion accelerator {cfg.name!r}: {cfg.rows}x{cfg.columns} Fusion Units "
+            f"({cfg.bitbricks} BitBricks) at {cfg.frequency_mhz:.0f} MHz, "
+            f"{cfg.total_sram_kb:.0f} KB on-chip SRAM "
+            f"(IBUF {cfg.ibuf_kb:.0f} / WBUF {cfg.wbuf_kb:.0f} / OBUF {cfg.obuf_kb:.0f}), "
+            f"{cfg.dram_bandwidth_bits_per_cycle} bits/cycle off-chip bandwidth, "
+            f"{cfg.technology.name} technology. Peak throughput "
+            f"{self.peak_throughput_gops(8, 8):.0f} GOPS at 8b/8b and "
+            f"{self.peak_throughput_gops(2, 2):.0f} GOPS at 2b/2b."
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BitFusionAccelerator(config={self.config.name!r})"

@@ -1,0 +1,176 @@
+"""BitBrick: the 2-bit multiply element at the heart of Bit Fusion.
+
+A BitBrick (paper Figure 5) multiplies two 2-bit operands, each of which may
+be interpreted as signed (two's complement, range -2..1) or unsigned
+(range 0..3), producing a product that fits in 6 bits.  The hardware first
+sign-extends each operand to 3 bits according to its sign flag, then feeds
+a 3-bit signed multiplier.  This module is a faithful functional model of
+that datapath: operands are validated against their 2-bit encodings, the
+sign extension is performed explicitly, and the product is returned both as
+a Python integer and as the 6-bit two's-complement word the hardware would
+emit.
+
+The BitBrick is deliberately tiny; all bitwidth flexibility in Bit Fusion
+comes from composing many BitBricks (see :mod:`repro.core.decompose` and
+:mod:`repro.core.fusion_unit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BitBrick",
+    "BitBrickResult",
+    "encode_twos_complement",
+    "decode_twos_complement",
+]
+
+#: Number of bits in a BitBrick operand.
+OPERAND_BITS = 2
+
+#: Number of bits in the BitBrick product (3-bit signed x 3-bit signed).
+PRODUCT_BITS = 6
+
+
+def encode_twos_complement(value: int, bits: int) -> int:
+    """Encode ``value`` as an unsigned ``bits``-wide two's-complement word.
+
+    Raises :class:`ValueError` if ``value`` does not fit in ``bits`` bits as
+    a signed quantity.
+    """
+    if bits <= 0:
+        raise ValueError(f"bit width must be positive, got {bits}")
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"value {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def decode_twos_complement(word: int, bits: int) -> int:
+    """Decode an unsigned ``bits``-wide word as a signed two's-complement value."""
+    if bits <= 0:
+        raise ValueError(f"bit width must be positive, got {bits}")
+    mask = (1 << bits) - 1
+    if not 0 <= word <= mask:
+        raise ValueError(f"word {word} is not a {bits}-bit pattern")
+    sign_bit = 1 << (bits - 1)
+    return (word & mask) - ((word & sign_bit) << 1)
+
+
+@dataclass(frozen=True)
+class BitBrickResult:
+    """Outcome of a single BitBrick multiply.
+
+    Attributes
+    ----------
+    product:
+        The numeric product as a Python integer.
+    product_word:
+        The 6-bit two's-complement encoding of the product, exactly the word
+        the hardware datapath would drive onto the shift-add tree.
+    x_extended, y_extended:
+        The 3-bit sign-extended operand values used by the internal signed
+        multiplier.
+    """
+
+    product: int
+    product_word: int
+    x_extended: int
+    y_extended: int
+
+
+class BitBrick:
+    """Functional model of a single BitBrick.
+
+    Parameters
+    ----------
+    signed_x, signed_y:
+        Static sign configuration of the brick.  In hardware the sign bits
+        ``sx``/``sy`` arrive with the operands; modelling them as
+        constructor arguments matches how a fused configuration holds the
+        sign mode fixed for a whole layer (only the most-significant brick
+        of a fused operand sees signed data).
+    """
+
+    def __init__(self, signed_x: bool = False, signed_y: bool = False) -> None:
+        self.signed_x = bool(signed_x)
+        self.signed_y = bool(signed_y)
+
+    # ------------------------------------------------------------------ #
+    # Operand handling
+    # ------------------------------------------------------------------ #
+    def _operand_range(self, signed: bool) -> tuple[int, int]:
+        if signed:
+            return -(1 << (OPERAND_BITS - 1)), (1 << (OPERAND_BITS - 1)) - 1
+        return 0, (1 << OPERAND_BITS) - 1
+
+    def _validate(self, value: int, signed: bool, name: str) -> int:
+        lo, hi = self._operand_range(signed)
+        if not lo <= value <= hi:
+            kind = "signed" if signed else "unsigned"
+            raise ValueError(
+                f"operand {name}={value} out of range for a {kind} "
+                f"{OPERAND_BITS}-bit BitBrick input [{lo}, {hi}]"
+            )
+        return value
+
+    @staticmethod
+    def _sign_extend(value: int, signed: bool) -> int:
+        """Model the 2-bit -> 3-bit sign extension stage.
+
+        For unsigned operands the extension bit is zero; for signed operands
+        the sign bit is replicated.  Numerically the extended value equals
+        the operand itself — the extension only matters for the hardware
+        encoding — so we return the value and compute the 3-bit word where
+        needed.
+        """
+        del signed  # numeric value is unchanged by sign extension
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Multiply
+    # ------------------------------------------------------------------ #
+    def multiply(self, x: int, y: int) -> BitBrickResult:
+        """Multiply two 2-bit operands and return the full datapath result."""
+        x = self._validate(x, self.signed_x, "x")
+        y = self._validate(y, self.signed_y, "y")
+        x3 = self._sign_extend(x, self.signed_x)
+        y3 = self._sign_extend(y, self.signed_y)
+        product = x3 * y3
+        return BitBrickResult(
+            product=product,
+            product_word=encode_twos_complement(product, PRODUCT_BITS),
+            x_extended=x3,
+            y_extended=y3,
+        )
+
+    def __call__(self, x: int, y: int) -> int:
+        """Convenience form returning only the numeric product."""
+        return self.multiply(x, y).product
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def x_range(self) -> tuple[int, int]:
+        """Valid numeric range of the ``x`` operand."""
+        return self._operand_range(self.signed_x)
+
+    @property
+    def y_range(self) -> tuple[int, int]:
+        """Valid numeric range of the ``y`` operand."""
+        return self._operand_range(self.signed_y)
+
+    @property
+    def product_range(self) -> tuple[int, int]:
+        """Numeric range of products this brick can emit."""
+        xlo, xhi = self.x_range
+        ylo, yhi = self.y_range
+        corners = [xlo * ylo, xlo * yhi, xhi * ylo, xhi * yhi]
+        return min(corners), max(corners)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BitBrick(signed_x={self.signed_x}, signed_y={self.signed_y})"
+        )

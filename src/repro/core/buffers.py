@@ -1,0 +1,183 @@
+"""Buffer data-infusion logic: splitting SRAM rows into operand lanes.
+
+Section II-B of the paper describes how the input and weight buffers feed
+the Fused-PEs: each buffer read returns a fixed-width row (32 bits in the
+evaluated design) into a register, and a set of multiplexers after the
+register slices that row into operand lanes whose width follows the current
+fusion configuration.  One access can therefore feed up to sixteen 2-bit
+operands, four 8-bit operands, and so on — "avoiding multiple accesses to
+the data array of the buffer, which conserves energy".
+
+:class:`DataInfusionRegister` models that slicing exactly: it packs and
+unpacks operand vectors into row words and reports how many data-array
+accesses a given operand demand costs.  The systolic-array energy accounting
+and the ISA-level tests use it to verify the paper's claim that a 32-bit
+access width suffices for every fusion configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitbrick import decode_twos_complement, encode_twos_complement
+from repro.core.fusion_unit import FusionConfig, fusion_config_for
+
+__all__ = ["LaneLayout", "DataInfusionRegister"]
+
+
+@dataclass(frozen=True)
+class LaneLayout:
+    """How one buffer row is split into operand lanes.
+
+    Attributes
+    ----------
+    lane_bits:
+        Width of each operand lane.
+    lanes_per_row:
+        Operand lanes carried by one row (row width // lane width).
+    row_bits:
+        Width of the underlying data-array access.
+    """
+
+    lane_bits: int
+    lanes_per_row: int
+    row_bits: int
+
+    def __post_init__(self) -> None:
+        if self.lane_bits <= 0:
+            raise ValueError(f"lane_bits must be positive, got {self.lane_bits}")
+        if self.row_bits <= 0:
+            raise ValueError(f"row_bits must be positive, got {self.row_bits}")
+        if self.lanes_per_row <= 0:
+            raise ValueError(
+                f"a {self.row_bits}-bit row cannot carry {self.lane_bits}-bit lanes"
+            )
+
+    @property
+    def used_bits(self) -> int:
+        """Bits of the row actually occupied by operand lanes."""
+        return self.lane_bits * self.lanes_per_row
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the row width carrying operands (1.0 = fully packed)."""
+        return self.used_bits / self.row_bits
+
+
+class DataInfusionRegister:
+    """The register + multiplexer stage between a scratchpad and the Fused-PEs.
+
+    Parameters
+    ----------
+    row_bits:
+        Width of one data-array access (32 in the evaluated configuration).
+    """
+
+    def __init__(self, row_bits: int = 32) -> None:
+        if row_bits <= 0 or row_bits % 2:
+            raise ValueError(f"row width must be a positive even bit count, got {row_bits}")
+        self.row_bits = row_bits
+
+    # ------------------------------------------------------------------ #
+    # Layout resolution
+    # ------------------------------------------------------------------ #
+    def layout(self, operand_bits: int) -> LaneLayout:
+        """Lane layout for operands of the given encoded bitwidth."""
+        lane_bits = max(2, min(operand_bits, 8))
+        if operand_bits not in (1, 2, 4, 8, 16):
+            raise ValueError(f"operand bitwidth must be one of (1, 2, 4, 8, 16), got {operand_bits}")
+        return LaneLayout(
+            lane_bits=lane_bits,
+            lanes_per_row=self.row_bits // lane_bits,
+            row_bits=self.row_bits,
+        )
+
+    def input_layout(self, config: FusionConfig) -> LaneLayout:
+        """Lane layout of the input buffer row under a fusion configuration."""
+        return self.layout(config.input_bits)
+
+    def weight_layout(self, config: FusionConfig) -> LaneLayout:
+        """Lane layout of the weight buffer row under a fusion configuration."""
+        return self.layout(config.weight_bits)
+
+    def row_feeds_fusion_unit(self, input_bits: int, weight_bits: int) -> bool:
+        """Whether one row access per buffer feeds a whole Fusion Unit each cycle.
+
+        This is the claim of Figure 4: at every supported configuration, the
+        Fused-PEs of one Fusion Unit consume at most ``row_bits`` of input
+        data and ``row_bits`` of weight data per cycle.
+        """
+        config = fusion_config_for(input_bits, weight_bits)
+        input_demand = config.fused_pes * self.layout(config.input_bits).lane_bits
+        weight_demand = config.fused_pes * self.layout(config.weight_bits).lane_bits
+        return input_demand <= self.row_bits and weight_demand <= self.row_bits
+
+    # ------------------------------------------------------------------ #
+    # Packing / unpacking
+    # ------------------------------------------------------------------ #
+    def pack(self, values: list[int], operand_bits: int, signed: bool = True) -> list[int]:
+        """Pack operand values into row words, least-significant lane first.
+
+        The final row is zero-padded when the value count is not a multiple
+        of the lane count, exactly as the hardware would leave unused lanes.
+        """
+        layout = self.layout(operand_bits)
+        rows: list[int] = []
+        for start in range(0, len(values), layout.lanes_per_row):
+            row_word = 0
+            for lane, value in enumerate(values[start : start + layout.lanes_per_row]):
+                if signed:
+                    encoded = encode_twos_complement(int(value), layout.lane_bits)
+                else:
+                    if not 0 <= int(value) < (1 << layout.lane_bits):
+                        raise ValueError(
+                            f"value {value} does not fit an unsigned {layout.lane_bits}-bit lane"
+                        )
+                    encoded = int(value)
+                row_word |= encoded << (lane * layout.lane_bits)
+            rows.append(row_word)
+        return rows
+
+    def unpack(
+        self, rows: list[int], operand_bits: int, count: int, signed: bool = True
+    ) -> list[int]:
+        """Unpack ``count`` operand values from row words produced by :meth:`pack`."""
+        layout = self.layout(operand_bits)
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        needed_rows = -(-count // layout.lanes_per_row) if count else 0
+        if len(rows) < needed_rows:
+            raise ValueError(
+                f"{count} operands need {needed_rows} rows, only {len(rows)} provided"
+            )
+        values: list[int] = []
+        mask = (1 << layout.lane_bits) - 1
+        for index in range(count):
+            row_word = rows[index // layout.lanes_per_row]
+            lane = index % layout.lanes_per_row
+            raw = (row_word >> (lane * layout.lane_bits)) & mask
+            if signed:
+                values.append(decode_twos_complement(raw, layout.lane_bits))
+            else:
+                values.append(raw)
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Access accounting
+    # ------------------------------------------------------------------ #
+    def accesses_for_operands(self, operand_count: int, operand_bits: int) -> int:
+        """Data-array accesses needed to deliver ``operand_count`` operands."""
+        if operand_count < 0:
+            raise ValueError(f"operand_count must be non-negative, got {operand_count}")
+        layout = self.layout(operand_bits)
+        return -(-operand_count // layout.lanes_per_row)
+
+    def access_reduction_vs_full_width(self, operand_bits: int, full_bits: int = 16) -> float:
+        """How many times fewer accesses low-bitwidth operands need versus ``full_bits``.
+
+        This is the proportional memory-access saving of the paper's second
+        insight: storing and moving values at their minimal bitwidth.
+        """
+        narrow = self.layout(operand_bits)
+        wide = self.layout(full_bits)
+        return narrow.lanes_per_row / wide.lanes_per_row

@@ -1,0 +1,223 @@
+"""Decomposition of wide multiplies onto 2-bit BitBricks.
+
+The mathematical property that enables Bit Fusion (paper Section III,
+Equations 1–3, Figures 6 and 7) is that a multiply between operands with
+power-of-two bitwidths decomposes into 2-bit multiplies whose products are
+shifted by the positional weight of each 2-bit slice and summed:
+
+    A × B = Σ_i Σ_j (A_i × B_j) << (2·i + 2·j)
+
+where ``A_i`` is the i-th 2-bit slice of A.  For signed operands the most
+significant slice is interpreted as signed (two's complement) while the
+lower slices are unsigned; this matches the BitBrick's per-operand sign
+flag (only the brick handling the top slice asserts it).
+
+This module provides:
+
+* :func:`decompose_operand` — slice an integer into 2-bit fields with per
+  slice sign flags,
+* :func:`decompose_multiply` — produce the full list of brick operations
+  (operand slices + shift amounts) for an ``(a_bits × b_bits)`` multiply,
+* :func:`recompose_product` — execute those brick operations on functional
+  :class:`~repro.core.bitbrick.BitBrick` instances and shift-add the
+  results, reproducing the original product exactly.
+
+These functions are used both by the functional tests (to prove the fusion
+arithmetic is lossless for every supported bitwidth combination) and by the
+Fusion Unit model to derive how many bricks a Fused-PE consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bitbrick import BitBrick
+
+__all__ = [
+    "OperandSlice",
+    "BrickOperation",
+    "DecomposedMultiply",
+    "decompose_operand",
+    "decompose_multiply",
+    "recompose_product",
+    "bricks_required",
+    "SUPPORTED_BITWIDTHS",
+]
+
+#: Operand bitwidths the Bit Fusion fabric supports.  A 1-bit (binary) or
+#: ternary operand maps onto a 2-bit brick input, so 1 is accepted as an
+#: alias of 2 when counting bricks, but decomposition always works on the
+#: encoded bitwidth (2, 4, 8 or 16).
+SUPPORTED_BITWIDTHS = (2, 4, 8, 16)
+
+_SLICE_BITS = 2
+
+
+def _validate_bitwidth(bits: int, name: str) -> int:
+    if bits not in SUPPORTED_BITWIDTHS:
+        raise ValueError(
+            f"{name} bitwidth must be one of {SUPPORTED_BITWIDTHS}, got {bits}"
+        )
+    return bits
+
+
+def _operand_bounds(bits: int, signed: bool) -> tuple[int, int]:
+    if signed:
+        return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return 0, (1 << bits) - 1
+
+
+@dataclass(frozen=True)
+class OperandSlice:
+    """A single 2-bit slice of a wider operand.
+
+    Attributes
+    ----------
+    value:
+        Numeric value of the slice: 0..3 for unsigned slices, -2..1 for the
+        signed most-significant slice of a signed operand.
+    shift:
+        Positional weight of the slice in bits (0, 2, 4, ...).
+    signed:
+        Whether the slice is interpreted as two's complement.
+    """
+
+    value: int
+    shift: int
+    signed: bool
+
+
+@dataclass(frozen=True)
+class BrickOperation:
+    """One BitBrick multiply inside a decomposed wide multiply."""
+
+    x: OperandSlice
+    y: OperandSlice
+
+    @property
+    def shift(self) -> int:
+        """Total left-shift applied to this brick's product."""
+        return self.x.shift + self.y.shift
+
+    @property
+    def signed_x(self) -> bool:
+        return self.x.signed
+
+    @property
+    def signed_y(self) -> bool:
+        return self.y.signed
+
+
+@dataclass(frozen=True)
+class DecomposedMultiply:
+    """Full decomposition of one wide multiply into brick operations."""
+
+    a: int
+    b: int
+    a_bits: int
+    b_bits: int
+    a_signed: bool
+    b_signed: bool
+    operations: tuple[BrickOperation, ...] = field(default_factory=tuple)
+
+    @property
+    def brick_count(self) -> int:
+        """Number of BitBricks this multiply occupies when fully spatial."""
+        return len(self.operations)
+
+    @property
+    def expected_product(self) -> int:
+        return self.a * self.b
+
+
+def decompose_operand(value: int, bits: int, signed: bool) -> list[OperandSlice]:
+    """Slice ``value`` into 2-bit fields with positional shifts.
+
+    The least significant slice comes first.  For signed operands the top
+    slice carries the sign; all other slices are unsigned.  The sum of
+    ``slice.value << slice.shift`` over the returned slices equals
+    ``value`` exactly.
+    """
+    _validate_bitwidth(bits, "operand")
+    lo, hi = _operand_bounds(bits, signed)
+    if not lo <= value <= hi:
+        kind = "signed" if signed else "unsigned"
+        raise ValueError(
+            f"value {value} out of range for {kind} {bits}-bit operand [{lo}, {hi}]"
+        )
+
+    word = value & ((1 << bits) - 1)
+    n_slices = bits // _SLICE_BITS
+    slices: list[OperandSlice] = []
+    for index in range(n_slices):
+        raw = (word >> (index * _SLICE_BITS)) & ((1 << _SLICE_BITS) - 1)
+        is_top = index == n_slices - 1
+        slice_signed = signed and is_top
+        if slice_signed:
+            # Interpret the top 2-bit field as two's complement.
+            slice_value = raw - ((raw & 0b10) << 1)
+        else:
+            slice_value = raw
+        slices.append(
+            OperandSlice(value=slice_value, shift=index * _SLICE_BITS, signed=slice_signed)
+        )
+    return slices
+
+
+def decompose_multiply(
+    a: int,
+    b: int,
+    a_bits: int,
+    b_bits: int,
+    a_signed: bool = True,
+    b_signed: bool = True,
+) -> DecomposedMultiply:
+    """Decompose ``a × b`` into the 2-bit brick operations Bit Fusion executes.
+
+    Every pair of an ``a`` slice and a ``b`` slice yields one brick
+    operation, so an ``a_bits × b_bits`` multiply occupies
+    ``(a_bits/2) × (b_bits/2)`` BitBricks — the quadratic saving the paper
+    exploits when bitwidths shrink.
+    """
+    a_slices = decompose_operand(a, a_bits, a_signed)
+    b_slices = decompose_operand(b, b_bits, b_signed)
+    operations = tuple(
+        BrickOperation(x=sa, y=sb) for sa in a_slices for sb in b_slices
+    )
+    return DecomposedMultiply(
+        a=a,
+        b=b,
+        a_bits=a_bits,
+        b_bits=b_bits,
+        a_signed=a_signed,
+        b_signed=b_signed,
+        operations=operations,
+    )
+
+
+def recompose_product(decomposition: DecomposedMultiply) -> int:
+    """Execute a decomposition on functional BitBricks and shift-add the results.
+
+    This mirrors the Fusion Unit's shift-add tree: each brick multiplies its
+    two 2-bit slices, the product is left-shifted by the slice positional
+    weights, and all shifted products are summed.
+    """
+    total = 0
+    for op in decomposition.operations:
+        brick = BitBrick(signed_x=op.signed_x, signed_y=op.signed_y)
+        product = brick(op.x.value, op.y.value)
+        total += product << op.shift
+    return total
+
+
+def bricks_required(a_bits: int, b_bits: int) -> int:
+    """Number of BitBricks a single ``a_bits × b_bits`` multiply occupies.
+
+    Bitwidths of 1 (binary/ternary encodings) occupy a full 2-bit brick
+    input, so they count as 2 bits here.
+    """
+    a_eff = max(2, a_bits)
+    b_eff = max(2, b_bits)
+    _validate_bitwidth(a_eff, "a")
+    _validate_bitwidth(b_eff, "b")
+    return (a_eff // _SLICE_BITS) * (b_eff // _SLICE_BITS)

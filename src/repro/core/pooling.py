@@ -1,0 +1,149 @@
+"""Per-column pooling and activation units (Figure 3).
+
+Each column of the Bit Fusion systolic array ends in a pooling unit and an
+activation unit sitting between the column accumulator and the output
+buffer.  They let pooling and activation layers ride along with the
+preceding convolution's block (the layer-fusion optimization of Section
+IV-B) instead of round-tripping through DRAM.
+
+This module gives those units a small functional + throughput model:
+
+* :class:`PoolingUnit` — windowed max/average reduction over the stream of
+  values a column produces, with a comparisons-per-output count the energy
+  model can price.
+* :class:`ActivationUnit` — ReLU (exact, integer) and saturating
+  re-quantization of 32-bit partial sums back to the next layer's output
+  bitwidth, which is exactly what the hardware does before writing OBUF.
+
+Both operate on NumPy arrays so the examples can run small fused
+conv+pool+activation pipelines end to end and compare against the
+reference kernels in :mod:`repro.dnn.functional`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dnn.functional import avg_pool2d, max_pool2d, relu
+from repro.dnn.quantization import clip_to_bitwidth
+
+__all__ = ["PoolingUnit", "ActivationUnit"]
+
+
+@dataclass(frozen=True)
+class PoolingUnit:
+    """Functional/throughput model of one column's pooling unit.
+
+    Parameters
+    ----------
+    kernel, stride:
+        Pooling window geometry.
+    mode:
+        ``"max"`` or ``"avg"``.
+    """
+
+    kernel: int
+    stride: int | None = None
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.kernel <= 0:
+            raise ValueError(f"kernel must be positive, got {self.kernel}")
+        if self.stride is not None and self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"mode must be 'max' or 'avg', got {self.mode!r}")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.kernel if self.stride is None else self.stride
+
+    def apply(self, feature_map: np.ndarray) -> np.ndarray:
+        """Pool a ``(C, H, W)`` integer feature map."""
+        if self.mode == "max":
+            return max_pool2d(feature_map, self.kernel, self.effective_stride)
+        return avg_pool2d(feature_map, self.kernel, self.effective_stride)
+
+    def comparisons_per_output(self) -> int:
+        """Compare/add operations per pooled output element."""
+        return self.kernel * self.kernel - 1
+
+    def output_elements(self, channels: int, height: int, width: int) -> int:
+        """Number of pooled outputs for an input feature map of the given shape."""
+        if channels <= 0 or height <= 0 or width <= 0:
+            raise ValueError("feature-map dimensions must be positive")
+        stride = self.effective_stride
+        out_h = (height - self.kernel) // stride + 1
+        out_w = (width - self.kernel) // stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"pooling a {height}x{width} map with kernel {self.kernel} "
+                f"and stride {stride} produces an empty output"
+            )
+        return channels * out_h * out_w
+
+    def cycles_for(self, channels: int, height: int, width: int, columns: int) -> int:
+        """Cycles the per-column units need to pool one feature map.
+
+        Each of the ``columns`` units retires one comparison per cycle, and
+        the feature map's windows are distributed across the columns — in
+        practice this always hides under the systolic array's compute time,
+        which is why the simulator treats fused pooling as free.
+        """
+        if columns <= 0:
+            raise ValueError(f"columns must be positive, got {columns}")
+        total_comparisons = self.output_elements(channels, height, width) * (
+            self.comparisons_per_output()
+        )
+        return -(-total_comparisons // columns)
+
+
+@dataclass(frozen=True)
+class ActivationUnit:
+    """Functional model of one column's activation / re-quantization stage.
+
+    Parameters
+    ----------
+    function:
+        ``"relu"`` (exact integer) or ``"identity"``.
+    output_bits:
+        Bitwidth the 32-bit partial sums are saturated to before they are
+        written to the output buffer (the next layer's input bitwidth).
+    signed:
+        Whether the re-quantized outputs are two's-complement signed.
+    """
+
+    function: str = "relu"
+    output_bits: int = 8
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.function not in ("relu", "identity"):
+            raise ValueError(f"function must be 'relu' or 'identity', got {self.function!r}")
+        if self.output_bits not in (1, 2, 4, 8, 16):
+            raise ValueError(
+                f"output_bits must be one of (1, 2, 4, 8, 16), got {self.output_bits}"
+            )
+
+    def apply(self, partial_sums: np.ndarray, scale_shift: int = 0) -> np.ndarray:
+        """Activate and re-quantize a tensor of 32-bit partial sums.
+
+        ``scale_shift`` models the power-of-two re-quantization scale the
+        hardware applies (an arithmetic right shift before saturation).
+        """
+        if scale_shift < 0:
+            raise ValueError(f"scale_shift must be non-negative, got {scale_shift}")
+        values = np.asarray(partial_sums, dtype=np.int64)
+        if self.function == "relu":
+            values = relu(values)
+        if scale_shift:
+            values = values >> scale_shift
+        return clip_to_bitwidth(values, self.output_bits, signed=self.signed)
+
+    def operations_for(self, elements: int) -> int:
+        """Element-wise operations performed for ``elements`` outputs."""
+        if elements < 0:
+            raise ValueError(f"elements must be non-negative, got {elements}")
+        return elements

@@ -1,0 +1,62 @@
+"""Quantized DNN substrate.
+
+Bit Fusion's evaluation runs eight real-world quantized DNNs.  This package
+provides the substrate those experiments need:
+
+* :mod:`repro.dnn.tensor` — quantized tensor specifications and generators.
+* :mod:`repro.dnn.quantization` — linear quantization/dequantization and
+  bitwidth utilities (the encoding logic that lets the accelerator store
+  values at their minimal bitwidth).
+* :mod:`repro.dnn.layers` — the layer IR (convolution, fully-connected,
+  pooling, activation, LSTM, vanilla RNN) with per-layer operand bitwidths
+  and GEMM lowering.
+* :mod:`repro.dnn.network` — a network is an ordered list of layers with
+  aggregate statistics (MACs, weight footprint, bitwidth distribution).
+* :mod:`repro.dnn.models` — the eight benchmark networks of Table II with
+  the bitwidth assignments of Figure 1.
+* :mod:`repro.dnn.reference` — NumPy integer reference execution used to
+  validate the fusion arithmetic end to end.
+"""
+
+from repro.dnn.tensor import TensorSpec, random_quantized_tensor
+from repro.dnn.quantization import (
+    QuantizationSpec,
+    quantize_linear,
+    dequantize_linear,
+    minimal_bitwidth,
+    clip_to_bitwidth,
+)
+from repro.dnn.layers import (
+    Layer,
+    ConvLayer,
+    FCLayer,
+    PoolLayer,
+    ActivationLayer,
+    LSTMLayer,
+    RNNLayer,
+    GemmShape,
+)
+from repro.dnn.network import Network
+from repro.dnn import functional
+from repro.dnn import models
+
+__all__ = [
+    "functional",
+    "models",
+    "TensorSpec",
+    "random_quantized_tensor",
+    "QuantizationSpec",
+    "quantize_linear",
+    "dequantize_linear",
+    "minimal_bitwidth",
+    "clip_to_bitwidth",
+    "Layer",
+    "ConvLayer",
+    "FCLayer",
+    "PoolLayer",
+    "ActivationLayer",
+    "LSTMLayer",
+    "RNNLayer",
+    "GemmShape",
+    "Network",
+]

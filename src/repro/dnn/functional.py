@@ -1,0 +1,283 @@
+"""NumPy integer reference implementations of DNN layer arithmetic.
+
+The Bit Fusion fabric executes layers as integer GEMMs; these functions are
+the *golden reference* the fusion datapath is checked against.  They are
+also used by the examples to run small quantized networks end to end
+(functional inference), demonstrating that the accelerator's bit-level
+decomposition is numerically lossless.
+
+All functions operate on ``int64`` arrays so intermediate accumulations can
+never overflow a NumPy dtype; callers that care about the 32-bit partial-sum
+limit of the hardware (Figure 4) use :func:`check_accumulator_range`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv2d",
+    "im2col",
+    "conv2d_gemm",
+    "fully_connected",
+    "max_pool2d",
+    "avg_pool2d",
+    "relu",
+    "lstm_cell",
+    "rnn_cell",
+    "check_accumulator_range",
+    "ACCUMULATOR_BITS",
+]
+
+#: Width of the hardware partial-sum accumulator (Figure 4).
+ACCUMULATOR_BITS = 32
+
+
+def check_accumulator_range(values: np.ndarray, bits: int = ACCUMULATOR_BITS) -> None:
+    """Raise :class:`OverflowError` if any value exceeds the accumulator range."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    vmin, vmax = int(values.min()), int(values.max())
+    if vmin < lo or vmax > hi:
+        raise OverflowError(
+            f"values in [{vmin}, {vmax}] exceed the {bits}-bit accumulator range"
+        )
+
+
+def _as_int64(values: np.ndarray, name: str, ndim: int) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-D, got shape {arr.shape}")
+    return arr
+
+
+# --------------------------------------------------------------------------- #
+# Convolution
+# --------------------------------------------------------------------------- #
+def im2col(
+    inputs: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold a ``(C, H, W)`` input into im2col columns.
+
+    Returns an array of shape ``(C * kernel * kernel, out_h * out_w)`` — the
+    matrix the convolution GEMM multiplies against the flattened kernel
+    matrix.  This mirrors exactly how the Fusion-ISA's ``gen-addr``
+    instructions walk the input tensor.
+    """
+    inputs = _as_int64(inputs, "inputs", 3)
+    channels, height, width = inputs.shape
+    if kernel <= 0 or stride <= 0:
+        raise ValueError(f"kernel and stride must be positive, got {kernel}, {stride}")
+    if padding < 0:
+        raise ValueError(f"padding must be non-negative, got {padding}")
+
+    padded = np.pad(
+        inputs, ((0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution produces empty output ({out_h}x{out_w}) for "
+            f"input {height}x{width}, kernel {kernel}, stride {stride}, padding {padding}"
+        )
+
+    columns = np.zeros((channels * kernel * kernel, out_h * out_w), dtype=np.int64)
+    col = 0
+    for oy in range(out_h):
+        for ox in range(out_w):
+            patch = padded[
+                :, oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel
+            ]
+            columns[:, col] = patch.reshape(-1)
+            col += 1
+    return columns
+
+
+def conv2d(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Direct integer 2-D convolution.
+
+    ``inputs`` is ``(C_in, H, W)``; ``weights`` is ``(C_out, C_in, K, K)``.
+    Returns ``(C_out, out_h, out_w)``.
+    """
+    inputs = _as_int64(inputs, "inputs", 3)
+    weights = _as_int64(weights, "weights", 4)
+    out_channels, in_channels, kernel, kernel_w = weights.shape
+    if kernel != kernel_w:
+        raise ValueError(f"only square kernels are supported, got {kernel}x{kernel_w}")
+    if inputs.shape[0] != in_channels:
+        raise ValueError(
+            f"channel mismatch: inputs have {inputs.shape[0]} channels, "
+            f"weights expect {in_channels}"
+        )
+    columns = im2col(inputs, kernel, stride=stride, padding=padding)
+    flat_weights = weights.reshape(out_channels, -1)
+    out = flat_weights @ columns
+    out_h = (inputs.shape[1] + 2 * padding - kernel) // stride + 1
+    out_w = (inputs.shape[2] + 2 * padding - kernel) // stride + 1
+    return out.reshape(out_channels, out_h, out_w)
+
+
+def conv2d_gemm(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the ``(weight_matrix, input_columns)`` GEMM pair of a convolution.
+
+    ``weight_matrix @ input_columns`` equals the flattened convolution
+    output.  The accelerator model consumes exactly this lowering.
+    """
+    inputs = _as_int64(inputs, "inputs", 3)
+    weights = _as_int64(weights, "weights", 4)
+    kernel = weights.shape[2]
+    columns = im2col(inputs, kernel, stride=stride, padding=padding)
+    return weights.reshape(weights.shape[0], -1), columns
+
+
+# --------------------------------------------------------------------------- #
+# Fully connected
+# --------------------------------------------------------------------------- #
+def fully_connected(
+    inputs: np.ndarray, weights: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Integer inner-product layer: ``weights @ inputs (+ bias)``.
+
+    ``weights`` is ``(out_features, in_features)``; ``inputs`` is either a
+    vector ``(in_features,)`` or a batch ``(in_features, B)``.
+    """
+    weights = _as_int64(weights, "weights", 2)
+    inputs = np.asarray(inputs, dtype=np.int64)
+    if inputs.ndim not in (1, 2):
+        raise ValueError(f"inputs must be 1-D or 2-D, got shape {inputs.shape}")
+    if inputs.shape[0] != weights.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: weights {weights.shape} @ inputs {inputs.shape}"
+        )
+    out = weights @ inputs
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.int64)
+        if bias.shape[0] != weights.shape[0]:
+            raise ValueError(
+                f"bias length {bias.shape[0]} does not match output features {weights.shape[0]}"
+            )
+        out = out + (bias if out.ndim == 1 else bias[:, None])
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Pooling and activation
+# --------------------------------------------------------------------------- #
+def _pool2d(
+    inputs: np.ndarray, kernel: int, stride: int, reduce_fn
+) -> np.ndarray:
+    inputs = _as_int64(inputs, "inputs", 3)
+    channels, height, width = inputs.shape
+    if kernel <= 0 or stride <= 0:
+        raise ValueError(f"kernel and stride must be positive, got {kernel}, {stride}")
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"pooling produces empty output for input {height}x{width}, "
+            f"kernel {kernel}, stride {stride}"
+        )
+    out = np.zeros((channels, out_h, out_w), dtype=np.int64)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            window = inputs[
+                :, oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel
+            ]
+            out[:, oy, ox] = reduce_fn(window.reshape(channels, -1))
+    return out
+
+
+def max_pool2d(inputs: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Max pooling over a ``(C, H, W)`` tensor, matching the pooling unit."""
+    stride = kernel if stride is None else stride
+    return _pool2d(inputs, kernel, stride, lambda window: window.max(axis=1))
+
+
+def avg_pool2d(inputs: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Average pooling (integer floor division, as the hardware would shift)."""
+    stride = kernel if stride is None else stride
+    return _pool2d(
+        inputs,
+        kernel,
+        stride,
+        lambda window: window.sum(axis=1) // (window.shape[1]),
+    )
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Rectified linear unit, as implemented by the per-column activation unit."""
+    return np.maximum(np.asarray(values, dtype=np.int64), 0)
+
+
+# --------------------------------------------------------------------------- #
+# Recurrent cells
+# --------------------------------------------------------------------------- #
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-values))
+
+
+def lstm_cell(
+    inputs: np.ndarray,
+    hidden: np.ndarray,
+    cell: np.ndarray,
+    weights: np.ndarray,
+    scale: float = 1.0 / 128.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One LSTM step with integer gate GEMMs and float nonlinearities.
+
+    The accelerator computes the four gate pre-activations as one integer
+    GEMM (``weights`` is ``(4 * hidden, input + hidden)``); the host applies
+    the sigmoid/tanh nonlinearities after dequantizing with ``scale``.
+    Returns ``(new_hidden, new_cell)`` as float arrays.
+    """
+    inputs = np.asarray(inputs, dtype=np.int64)
+    hidden = np.asarray(hidden, dtype=np.int64)
+    cell = np.asarray(cell, dtype=np.float64)
+    weights = _as_int64(weights, "weights", 2)
+    hidden_size = hidden.shape[0]
+    if weights.shape != (4 * hidden_size, inputs.shape[0] + hidden_size):
+        raise ValueError(
+            f"LSTM weights must be (4*hidden, input+hidden) = "
+            f"({4 * hidden_size}, {inputs.shape[0] + hidden_size}), got {weights.shape}"
+        )
+    concat = np.concatenate([inputs, hidden])
+    gates = (weights @ concat).astype(np.float64) * scale
+    i_gate, f_gate, g_gate, o_gate = np.split(gates, 4)
+    new_cell = _sigmoid(f_gate) * cell + _sigmoid(i_gate) * np.tanh(g_gate)
+    new_hidden = _sigmoid(o_gate) * np.tanh(new_cell)
+    return new_hidden, new_cell
+
+
+def rnn_cell(
+    inputs: np.ndarray,
+    hidden: np.ndarray,
+    weights: np.ndarray,
+    scale: float = 1.0 / 128.0,
+) -> np.ndarray:
+    """One vanilla (Elman) RNN step: ``tanh(W @ [x; h])`` with integer GEMM."""
+    inputs = np.asarray(inputs, dtype=np.int64)
+    hidden = np.asarray(hidden, dtype=np.int64)
+    weights = _as_int64(weights, "weights", 2)
+    hidden_size = hidden.shape[0]
+    if weights.shape != (hidden_size, inputs.shape[0] + hidden_size):
+        raise ValueError(
+            f"RNN weights must be (hidden, input+hidden) = "
+            f"({hidden_size}, {inputs.shape[0] + hidden_size}), got {weights.shape}"
+        )
+    concat = np.concatenate([inputs, hidden])
+    pre_activation = (weights @ concat).astype(np.float64) * scale
+    return np.tanh(pre_activation)

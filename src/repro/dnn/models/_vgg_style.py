@@ -1,0 +1,119 @@
+"""Shared builder for the VGG-style CIFAR/SVHN benchmark CNNs.
+
+Three of the paper's benchmarks (Cifar-10, SVHN, VGG-7) share the same
+shape: pairs of 3x3 convolutions separated by 2x2 max-pooling on a 32x32
+input, followed by a small fully-connected classifier.  They differ only in
+channel widths and operand bitwidths, so a single parameterized builder
+keeps the three model modules declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.layers import ConvLayer, FCLayer, PoolLayer
+from repro.dnn.network import Network
+
+__all__ = ["ConvStageSpec", "build_vgg_style_network"]
+
+
+@dataclass(frozen=True)
+class ConvStageSpec:
+    """One conv-conv-pool stage of a VGG-style network.
+
+    Attributes
+    ----------
+    channels:
+        Output channels of both convolutions in the stage.
+    pool:
+        Whether a 2x2 max-pool follows the stage.
+    """
+
+    channels: int
+    pool: bool = True
+
+
+def build_vgg_style_network(
+    name: str,
+    stages: tuple[ConvStageSpec, ...],
+    fc_features: tuple[int, ...],
+    classes: int,
+    input_bits: int,
+    weight_bits: int,
+    first_layer_bits: tuple[int, int] = (8, 8),
+    image_size: int = 32,
+    in_channels: int = 3,
+) -> Network:
+    """Assemble a VGG-style quantized network.
+
+    The first convolution runs at ``first_layer_bits`` (the image enters at
+    8 bits); every subsequent compute layer runs at
+    ``input_bits``/``weight_bits``, matching the quantized models the paper
+    uses (QNN for Cifar-10/SVHN, ternary weight networks for VGG-7).
+    """
+    if not stages:
+        raise ValueError("a VGG-style network needs at least one convolution stage")
+    net = Network(name)
+    size = image_size
+    channels = in_channels
+    first = True
+    for stage_index, stage in enumerate(stages, start=1):
+        for conv_index in (1, 2):
+            in_bits, wt_bits = (first_layer_bits if first else (input_bits, weight_bits))
+            net.add(
+                ConvLayer(
+                    name=f"conv{stage_index}_{conv_index}",
+                    in_channels=channels,
+                    out_channels=stage.channels,
+                    in_height=size,
+                    in_width=size,
+                    kernel=3,
+                    stride=1,
+                    padding=1,
+                    input_bits=in_bits,
+                    weight_bits=wt_bits,
+                    output_bits=input_bits,
+                )
+            )
+            channels = stage.channels
+            first = False
+        if stage.pool:
+            net.add(
+                PoolLayer(
+                    name=f"pool{stage_index}",
+                    channels=channels,
+                    in_height=size,
+                    in_width=size,
+                    kernel=2,
+                    stride=2,
+                    input_bits=input_bits,
+                    weight_bits=weight_bits,
+                    output_bits=input_bits,
+                )
+            )
+            size //= 2
+
+    features = channels * size * size
+    for fc_index, width in enumerate(fc_features, start=1):
+        net.add(
+            FCLayer(
+                name=f"fc{fc_index}",
+                in_features=features,
+                out_features=width,
+                input_bits=input_bits,
+                weight_bits=weight_bits,
+                output_bits=input_bits,
+            )
+        )
+        features = width
+    net.add(
+        FCLayer(
+            name="classifier",
+            in_features=features,
+            out_features=classes,
+            input_bits=input_bits,
+            weight_bits=weight_bits,
+            output_bits=8,
+        )
+    )
+    return net

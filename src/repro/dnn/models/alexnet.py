@@ -1,0 +1,217 @@
+"""AlexNet benchmark (WRPN 2x-wide, 4-bit activations / 1-bit weights).
+
+The paper evaluates the WRPN "wide reduced-precision" AlexNet: channel counts
+are doubled relative to the regular network so that 4-bit activations and
+1-bit (binary) weights reach full-precision accuracy (Section V-A, [36]).
+The first convolution and the final classifier stay at 8-bit/8-bit, which is
+why roughly 15% of AlexNet's multiply-adds run at 8/8 in Figure 1(a).
+
+The topology follows the single-tower AlexNet of Krizhevsky's "one weird
+trick" paper, which the Bit Fusion paper cites as its AlexNet reference [40]:
+convolution channels 64-192-384-256-256 and 4096-wide fully-connected
+layers.  The regular variant totals ~0.7 G multiply-adds; the 2x-wide
+variant ~2.7 G, matching Table II's 2,678 Mops.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import ActivationLayer, ConvLayer, FCLayer, PoolLayer
+from repro.dnn.network import Network
+
+__all__ = ["build_alexnet"]
+
+
+def build_alexnet(wide: bool = True) -> Network:
+    """Build AlexNet.
+
+    Parameters
+    ----------
+    wide:
+        ``True`` builds the 2x-wide quantized model used on Bit Fusion and
+        Stripes; ``False`` builds the regular model used on Eyeriss and the
+        GPUs (16-bit operands on Eyeriss, FP32/INT8 on the GPUs — the
+        simulator models treat its 8-bit declarations as "full precision").
+    """
+    width = 2 if wide else 1
+    suffix = "2x" if wide else "regular"
+    # Quantized operand bitwidths of the WRPN model; the regular baseline
+    # model keeps every layer at 8 bits (the narrowest encoding the 16-bit
+    # Eyeriss datapath and the INT8 GPU path can exploit is handled by the
+    # baseline models themselves).
+    mid_in, mid_wt = (4, 1) if wide else (8, 8)
+
+    net = Network(f"AlexNet-{suffix}")
+
+    # Stage 1: the 8-bit entry convolution on the 224x224 RGB image.
+    net.add(
+        ConvLayer(
+            name="conv1",
+            in_channels=3,
+            out_channels=64 * width,
+            in_height=224,
+            in_width=224,
+            kernel=11,
+            stride=4,
+            padding=2,
+            input_bits=8,
+            weight_bits=8,
+            output_bits=mid_in,
+        )
+    )
+    net.add(
+        PoolLayer(
+            name="pool1",
+            channels=64 * width,
+            in_height=55,
+            in_width=55,
+            kernel=3,
+            stride=2,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+
+    # Stage 2
+    net.add(
+        ConvLayer(
+            name="conv2",
+            in_channels=64 * width,
+            out_channels=192 * width,
+            in_height=27,
+            in_width=27,
+            kernel=5,
+            stride=1,
+            padding=2,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+    net.add(
+        PoolLayer(
+            name="pool2",
+            channels=192 * width,
+            in_height=27,
+            in_width=27,
+            kernel=3,
+            stride=2,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+
+    # Stage 3: three back-to-back 3x3 convolutions at 13x13.
+    net.add(
+        ConvLayer(
+            name="conv3",
+            in_channels=192 * width,
+            out_channels=384 * width,
+            in_height=13,
+            in_width=13,
+            kernel=3,
+            stride=1,
+            padding=1,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+    net.add(
+        ConvLayer(
+            name="conv4",
+            in_channels=384 * width,
+            out_channels=256 * width,
+            in_height=13,
+            in_width=13,
+            kernel=3,
+            stride=1,
+            padding=1,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+    net.add(
+        ConvLayer(
+            name="conv5",
+            in_channels=256 * width,
+            out_channels=256 * width,
+            in_height=13,
+            in_width=13,
+            kernel=3,
+            stride=1,
+            padding=1,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+    net.add(
+        PoolLayer(
+            name="pool5",
+            channels=256 * width,
+            in_height=13,
+            in_width=13,
+            kernel=3,
+            stride=2,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+
+    # Classifier: two reduced-precision FC layers plus the 8-bit output layer.
+    flattened = 256 * width * 6 * 6
+    net.add(
+        FCLayer(
+            name="fc6",
+            in_features=flattened,
+            out_features=4096 * width,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+    net.add(
+        ActivationLayer(
+            name="relu6",
+            elements=4096 * width,
+            function="relu",
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=mid_in,
+        )
+    )
+    net.add(
+        FCLayer(
+            name="fc7",
+            in_features=4096 * width,
+            out_features=4096 * width,
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=8,
+        )
+    )
+    net.add(
+        ActivationLayer(
+            name="relu7",
+            elements=4096 * width,
+            function="relu",
+            input_bits=mid_in,
+            weight_bits=mid_wt,
+            output_bits=8,
+        )
+    )
+    net.add(
+        FCLayer(
+            name="fc8",
+            in_features=4096 * width,
+            out_features=1000,
+            input_bits=8,
+            weight_bits=8,
+            output_bits=8,
+        )
+    )
+    return net

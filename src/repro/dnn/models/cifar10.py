@@ -1,0 +1,33 @@
+"""Cifar-10 benchmark (QNN, binary 1-bit activations and weights).
+
+The quantized Cifar-10 model comes from Hubara et al.'s QNN work [35]: a
+VGG-style network with channel widths 128-128-256-256-512-512 and two
+1024-wide fully-connected layers, binarized to 1-bit activations and
+weights everywhere except the 8-bit entry convolution.  Table II lists it at
+617 M multiply-adds and ~3.3 MB of (2-bit-encoded) weights; Figure 1 shows
+99% of its multiply-adds at 1-bit/1-bit.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.models._vgg_style import ConvStageSpec, build_vgg_style_network
+from repro.dnn.network import Network
+
+__all__ = ["build_cifar10"]
+
+
+def build_cifar10() -> Network:
+    """Build the binarized Cifar-10 network (~617 M multiply-adds)."""
+    return build_vgg_style_network(
+        name="Cifar-10",
+        stages=(
+            ConvStageSpec(channels=128),
+            ConvStageSpec(channels=256),
+            ConvStageSpec(channels=512),
+        ),
+        fc_features=(1024, 1024),
+        classes=10,
+        input_bits=1,
+        weight_bits=1,
+        first_layer_bits=(8, 8),
+    )

@@ -1,0 +1,98 @@
+"""LeNet-5 benchmark (ternary weight network, 2-bit activations and weights).
+
+A LeNet-5-style MNIST network with ternary weights (the paper cites the
+ternary-weight-network models of Li et al. [34]).  The variant used here —
+32 and 64 feature maps in the two 5x5 convolution stages and a 640-wide
+fully-connected layer — sits at ~13 M multiply-adds and ~0.5 MB of
+2-bit-encoded weights, matching Table II's 16 Mops / 0.5 MB scale.  Every
+compute layer runs at 2-bit/2-bit (Figure 1).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import ConvLayer, FCLayer, PoolLayer
+from repro.dnn.network import Network
+
+__all__ = ["build_lenet5"]
+
+
+def build_lenet5() -> Network:
+    """Build the ternary LeNet-5 network (~13 M multiply-adds)."""
+    net = Network("LeNet-5")
+    net.add(
+        ConvLayer(
+            name="conv1",
+            in_channels=1,
+            out_channels=32,
+            in_height=28,
+            in_width=28,
+            kernel=5,
+            stride=1,
+            padding=2,
+            input_bits=2,
+            weight_bits=2,
+            output_bits=2,
+        )
+    )
+    net.add(
+        PoolLayer(
+            name="pool1",
+            channels=32,
+            in_height=28,
+            in_width=28,
+            kernel=2,
+            stride=2,
+            input_bits=2,
+            weight_bits=2,
+            output_bits=2,
+        )
+    )
+    net.add(
+        ConvLayer(
+            name="conv2",
+            in_channels=32,
+            out_channels=64,
+            in_height=14,
+            in_width=14,
+            kernel=5,
+            stride=1,
+            padding=2,
+            input_bits=2,
+            weight_bits=2,
+            output_bits=2,
+        )
+    )
+    net.add(
+        PoolLayer(
+            name="pool2",
+            channels=64,
+            in_height=14,
+            in_width=14,
+            kernel=2,
+            stride=2,
+            input_bits=2,
+            weight_bits=2,
+            output_bits=2,
+        )
+    )
+    net.add(
+        FCLayer(
+            name="fc1",
+            in_features=64 * 7 * 7,
+            out_features=640,
+            input_bits=2,
+            weight_bits=2,
+            output_bits=2,
+        )
+    )
+    net.add(
+        FCLayer(
+            name="classifier",
+            in_features=640,
+            out_features=10,
+            input_bits=2,
+            weight_bits=2,
+            output_bits=8,
+        )
+    )
+    return net

@@ -1,0 +1,49 @@
+"""LSTM benchmark (QNN, 4-bit activations and weights, Penn TreeBank).
+
+The LSTM language model follows the quantized recurrent networks of Hubara
+et al. [35]: a single LSTM layer followed by a softmax projection onto the
+10,000-word Penn TreeBank vocabulary, with 4-bit activations and weights
+throughout (Figure 1).  A hidden size of 800 puts one inference step at
+~13 M multiply-adds with ~6.5 MB of 4-bit-encoded weights, matching
+Table II's 13 Mops / 6.2 MB.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import FCLayer, LSTMLayer
+from repro.dnn.network import Network
+
+__all__ = ["build_lstm", "HIDDEN_SIZE", "VOCABULARY"]
+
+#: Hidden (and embedding) width of the benchmark LSTM.
+HIDDEN_SIZE = 800
+
+#: Penn TreeBank vocabulary size for the softmax projection.
+VOCABULARY = 10_000
+
+
+def build_lstm() -> Network:
+    """Build the quantized Penn TreeBank LSTM (~13 M multiply-adds per step)."""
+    net = Network("LSTM")
+    net.add(
+        LSTMLayer(
+            name="lstm1",
+            input_size=HIDDEN_SIZE,
+            hidden_size=HIDDEN_SIZE,
+            timesteps=1,
+            input_bits=4,
+            weight_bits=4,
+            output_bits=4,
+        )
+    )
+    net.add(
+        FCLayer(
+            name="softmax_projection",
+            in_features=HIDDEN_SIZE,
+            out_features=VOCABULARY,
+            input_bits=4,
+            weight_bits=4,
+            output_bits=8,
+        )
+    )
+    return net

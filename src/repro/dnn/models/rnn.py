@@ -1,0 +1,48 @@
+"""Vanilla RNN benchmark (QNN, 4-bit activations and weights, Penn TreeBank).
+
+An Elman-style recurrent language model with a single recurrent layer and a
+softmax projection onto the 10,000-word Penn TreeBank vocabulary, quantized
+to 4-bit activations and weights (Hubara et al. [35], Figure 1).  A hidden
+size of 1,280 puts one inference step at ~16 M multiply-adds with ~8 MB of
+4-bit-encoded weights, matching Table II's 17 Mops / 8.0 MB.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import FCLayer, RNNLayer
+from repro.dnn.network import Network
+
+__all__ = ["build_rnn", "HIDDEN_SIZE", "VOCABULARY"]
+
+#: Hidden (and embedding) width of the benchmark RNN.
+HIDDEN_SIZE = 1280
+
+#: Penn TreeBank vocabulary size for the softmax projection.
+VOCABULARY = 10_000
+
+
+def build_rnn() -> Network:
+    """Build the quantized Penn TreeBank vanilla RNN (~16 M multiply-adds per step)."""
+    net = Network("RNN")
+    net.add(
+        RNNLayer(
+            name="rnn1",
+            input_size=HIDDEN_SIZE,
+            hidden_size=HIDDEN_SIZE,
+            timesteps=1,
+            input_bits=4,
+            weight_bits=4,
+            output_bits=4,
+        )
+    )
+    net.add(
+        FCLayer(
+            name="softmax_projection",
+            in_features=HIDDEN_SIZE,
+            out_features=VOCABULARY,
+            input_bits=4,
+            weight_bits=4,
+            output_bits=8,
+        )
+    )
+    return net

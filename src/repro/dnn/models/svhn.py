@@ -1,0 +1,32 @@
+"""SVHN benchmark (QNN, binary 1-bit activations and weights).
+
+The SVHN model is the half-width sibling of the binarized Cifar-10 network
+(Hubara et al. [35]): channel widths 64-64-128-128-256-256 with two
+1024-wide fully-connected layers, 1-bit activations/weights except the
+8-bit entry convolution.  Table II lists it at 158 M multiply-adds and
+~0.8 MB of weights.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.models._vgg_style import ConvStageSpec, build_vgg_style_network
+from repro.dnn.network import Network
+
+__all__ = ["build_svhn"]
+
+
+def build_svhn() -> Network:
+    """Build the binarized SVHN network (~158 M multiply-adds)."""
+    return build_vgg_style_network(
+        name="SVHN",
+        stages=(
+            ConvStageSpec(channels=64),
+            ConvStageSpec(channels=128),
+            ConvStageSpec(channels=256),
+        ),
+        fc_features=(1024, 1024),
+        classes=10,
+        input_bits=1,
+        weight_bits=1,
+        first_layer_bits=(8, 8),
+    )

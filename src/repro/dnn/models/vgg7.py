@@ -1,0 +1,82 @@
+"""VGG-7 benchmark (ternary weight network, 2-bit activations and weights).
+
+The VGG-7 model follows the ternary-weight-network literature the paper
+cites [34]: a seven-layer VGG-style network on CIFAR-10 with ternary
+(-1, 0, +1) weights, which occupy 2-bit encodings on the fusion fabric.
+Channel widths 64-128 / 128-256 / 256-512 with a single 1024-wide
+fully-connected layer put it at ~313 M multiply-adds and ~2.9 MB of
+2-bit-encoded weights, matching Table II's 317 Mops / 2.7 MB.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import ConvLayer, FCLayer, PoolLayer
+from repro.dnn.network import Network
+
+__all__ = ["build_vgg7"]
+
+_STAGE_CHANNELS = ((64, 128), (128, 256), (256, 512))
+
+
+def build_vgg7() -> Network:
+    """Build the ternary VGG-7 network (~313 M multiply-adds)."""
+    net = Network("VGG-7")
+    size = 32
+    channels = 3
+    first = True
+    for stage_index, (first_width, second_width) in enumerate(_STAGE_CHANNELS, start=1):
+        for conv_index, width in enumerate((first_width, second_width), start=1):
+            in_bits, wt_bits = (8, 8) if first else (2, 2)
+            net.add(
+                ConvLayer(
+                    name=f"conv{stage_index}_{conv_index}",
+                    in_channels=channels,
+                    out_channels=width,
+                    in_height=size,
+                    in_width=size,
+                    kernel=3,
+                    stride=1,
+                    padding=1,
+                    input_bits=in_bits,
+                    weight_bits=wt_bits,
+                    output_bits=2,
+                )
+            )
+            channels = width
+            first = False
+        net.add(
+            PoolLayer(
+                name=f"pool{stage_index}",
+                channels=channels,
+                in_height=size,
+                in_width=size,
+                kernel=2,
+                stride=2,
+                input_bits=2,
+                weight_bits=2,
+                output_bits=2,
+            )
+        )
+        size //= 2
+
+    net.add(
+        FCLayer(
+            name="fc1",
+            in_features=channels * size * size,
+            out_features=1024,
+            input_bits=2,
+            weight_bits=2,
+            output_bits=2,
+        )
+    )
+    net.add(
+        FCLayer(
+            name="classifier",
+            in_features=1024,
+            out_features=10,
+            input_bits=2,
+            weight_bits=2,
+            output_bits=8,
+        )
+    )
+    return net

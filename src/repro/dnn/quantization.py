@@ -1,0 +1,134 @@
+"""Linear quantization utilities.
+
+Bit Fusion relies on existing quantized-DNN training methods (DoReFa,
+ternary weight networks, WRPN, QNN) and accelerates their reduced-bitwidth
+inference.  This module provides the small amount of quantization machinery
+the reproduction needs:
+
+* symmetric linear quantization / dequantization between floating point and
+  ``n``-bit integers (used by examples that start from float tensors),
+* :func:`minimal_bitwidth` — the smallest power-of-two encoded bitwidth that
+  represents a given integer tensor losslessly, mirroring the accelerator's
+  encoding/memory-access logic that stores values at the lowest required
+  bitwidth (Section I, insight 2),
+* :func:`clip_to_bitwidth` — saturating casts used when materializing
+  synthetic layer data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantizationSpec",
+    "quantize_linear",
+    "dequantize_linear",
+    "minimal_bitwidth",
+    "clip_to_bitwidth",
+    "SUPPORTED_ENCODED_BITWIDTHS",
+]
+
+#: Encoded bitwidths the fabric and the memory encoding logic understand.
+SUPPORTED_ENCODED_BITWIDTHS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Symmetric linear quantization parameters.
+
+    ``real = scale * integer`` with integers confined to the signed (or
+    unsigned) range of ``bits``.
+    """
+
+    bits: int
+    scale: float
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits not in SUPPORTED_ENCODED_BITWIDTHS:
+            raise ValueError(
+                f"bits must be one of {SUPPORTED_ENCODED_BITWIDTHS}, got {self.bits}"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def qmin(self) -> int:
+        if self.signed:
+            return -(1 << (self.bits - 1))
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    @staticmethod
+    def from_tensor(values: np.ndarray, bits: int, signed: bool = True) -> "QuantizationSpec":
+        """Choose a scale so the tensor's max magnitude maps to the integer max."""
+        values = np.asarray(values, dtype=np.float64)
+        max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+        if max_abs == 0.0:
+            max_abs = 1.0
+        qmax = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+        if qmax == 0:
+            qmax = 1
+        scale = max_abs / qmax
+        if scale <= 0.0:
+            # Guard against denormal inputs whose scale underflows to zero;
+            # quantizing such tensors to all-zero integers is the right call.
+            scale = 1.0 / qmax
+        return QuantizationSpec(bits=bits, scale=scale, signed=signed)
+
+
+def quantize_linear(values: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Quantize floating-point values to integers under ``spec`` (round-to-nearest)."""
+    values = np.asarray(values, dtype=np.float64)
+    q = np.rint(values / spec.scale)
+    return np.clip(q, spec.qmin, spec.qmax).astype(np.int64)
+
+
+def dequantize_linear(values: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Map integers back to the real domain."""
+    return np.asarray(values, dtype=np.float64) * spec.scale
+
+
+def minimal_bitwidth(values: np.ndarray, signed: bool = True) -> int:
+    """Smallest supported encoded bitwidth that represents ``values`` exactly.
+
+    This mirrors the accelerator's storage encoding: a tensor whose values
+    all fit in 2 bits is stored, transferred and computed at 2 bits even if
+    the layer nominally declared a wider type.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return SUPPORTED_ENCODED_BITWIDTHS[0]
+    vmin = int(values.min())
+    vmax = int(values.max())
+    for bits in SUPPORTED_ENCODED_BITWIDTHS:
+        if signed:
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        else:
+            lo, hi = 0, (1 << bits) - 1
+        if lo <= vmin and vmax <= hi:
+            return bits
+    raise ValueError(
+        f"values in [{vmin}, {vmax}] exceed the widest supported bitwidth "
+        f"({SUPPORTED_ENCODED_BITWIDTHS[-1]} bits)"
+    )
+
+
+def clip_to_bitwidth(values: np.ndarray, bits: int, signed: bool = True) -> np.ndarray:
+    """Saturate ``values`` into the representable range of ``bits``."""
+    if bits not in SUPPORTED_ENCODED_BITWIDTHS:
+        raise ValueError(
+            f"bits must be one of {SUPPORTED_ENCODED_BITWIDTHS}, got {bits}"
+        )
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    return np.clip(np.asarray(values, dtype=np.int64), lo, hi)

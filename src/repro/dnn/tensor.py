@@ -1,0 +1,80 @@
+"""Quantized tensor specifications and generators.
+
+The simulator never needs real trained weights — performance and energy
+depend only on tensor *shapes* and *bitwidths* — but the functional tests
+and examples do need concrete integer tensors that respect a layer's
+declared bitwidth.  :class:`TensorSpec` describes such a tensor and
+:func:`random_quantized_tensor` materializes one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+import numpy as np
+
+__all__ = ["TensorSpec", "random_quantized_tensor"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + precision description of a quantized tensor.
+
+    Attributes
+    ----------
+    shape:
+        Tensor dimensions.
+    bits:
+        Encoded bitwidth of every element (1, 2, 4, 8 or 16).
+    signed:
+        Whether elements are two's-complement signed.
+    """
+
+    shape: tuple[int, ...]
+    bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("tensor shape must have at least one dimension")
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError(f"tensor dimensions must be positive, got {self.shape}")
+        if self.bits not in (1, 2, 4, 8, 16):
+            raise ValueError(f"bitwidth must be one of (1, 2, 4, 8, 16), got {self.bits}")
+
+    @property
+    def elements(self) -> int:
+        """Number of elements in the tensor."""
+        return prod(self.shape)
+
+    @property
+    def size_bits(self) -> int:
+        """Storage footprint in bits at the tensor's encoded bitwidth."""
+        return self.elements * self.bits
+
+    @property
+    def size_bytes(self) -> float:
+        """Storage footprint in bytes at the tensor's encoded bitwidth."""
+        return self.size_bits / 8.0
+
+    @property
+    def value_range(self) -> tuple[int, int]:
+        """Inclusive numeric range representable at this precision."""
+        if self.signed:
+            return -(1 << (self.bits - 1)), (1 << (self.bits - 1)) - 1
+        return 0, (1 << self.bits) - 1
+
+
+def random_quantized_tensor(
+    spec: TensorSpec, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Draw a random integer tensor matching ``spec``.
+
+    Values are drawn uniformly over the representable range and returned as
+    ``int64`` so downstream accumulation never overflows NumPy dtypes.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    lo, hi = spec.value_range
+    return rng.integers(lo, hi + 1, size=spec.shape, dtype=np.int64)

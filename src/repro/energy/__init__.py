@@ -1,0 +1,45 @@
+"""Energy and area models for the Bit Fusion reproduction.
+
+The paper derives its energy numbers from three sources: synthesis of the
+Verilog implementation at 45 nm (compute logic), CACTI-P (on-chip SRAM) and
+standard DRAM access-energy figures, with technology scaling applied when
+comparing against 16 nm GPUs.  This package re-creates that methodology as
+analytical models:
+
+* :mod:`repro.energy.components` — per-operation compute-energy constants
+  (anchored on the synthesis results the paper publishes in Figure 10) and
+  the area constants used to size the accelerator.
+* :mod:`repro.energy.cacti`      — a CACTI-P-inspired SRAM access-energy
+  model parameterized by capacity and access width.
+* :mod:`repro.energy.dram`       — off-chip DRAM access energy.
+* :mod:`repro.energy.breakdown`  — the per-component energy breakdown
+  (compute / buffers / register file / DRAM) used across all accelerator
+  models (Figure 14).
+"""
+
+from repro.energy.breakdown import EnergyBreakdown
+from repro.energy.cacti import SramEnergyModel, sram_access_energy_pj
+from repro.energy.components import (
+    ComputeEnergyModel,
+    FUSION_UNIT_AREA_UM2,
+    TEMPORAL_UNIT_AREA_UM2,
+    FUSION_UNIT_POWER_NW,
+    TEMPORAL_UNIT_POWER_NW,
+    fusion_unit_area_breakdown,
+    temporal_unit_area_breakdown,
+)
+from repro.energy.dram import DramEnergyModel
+
+__all__ = [
+    "EnergyBreakdown",
+    "SramEnergyModel",
+    "sram_access_energy_pj",
+    "ComputeEnergyModel",
+    "DramEnergyModel",
+    "FUSION_UNIT_AREA_UM2",
+    "TEMPORAL_UNIT_AREA_UM2",
+    "FUSION_UNIT_POWER_NW",
+    "TEMPORAL_UNIT_POWER_NW",
+    "fusion_unit_area_breakdown",
+    "temporal_unit_area_breakdown",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.harness`` — regenerate the paper's tables and figures."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

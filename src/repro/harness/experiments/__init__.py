@@ -1,0 +1,36 @@
+"""Experiment runners, one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` entry point returning plain result rows
+and a ``format_table(...)`` (or ``summary``) helper; the benchmark suite
+under ``benchmarks/`` wraps these runners in ``pytest-benchmark`` fixtures.
+"""
+
+from repro.harness.experiments import (
+    ablations,
+    fig01_bitwidths,
+    fig10_fusion_unit,
+    fig13_eyeriss,
+    fig14_breakdown,
+    fig15_bandwidth,
+    fig16_batch,
+    fig17_gpu,
+    fig18_stripes,
+    isa_stats,
+    tab02_benchmarks,
+    tab03_platforms,
+)
+
+__all__ = [
+    "ablations",
+    "fig01_bitwidths",
+    "fig10_fusion_unit",
+    "fig13_eyeriss",
+    "fig14_breakdown",
+    "fig15_bandwidth",
+    "fig16_batch",
+    "fig17_gpu",
+    "fig18_stripes",
+    "isa_stats",
+    "tab02_benchmarks",
+    "tab03_platforms",
+]

@@ -1,0 +1,74 @@
+"""Figure 16 — sensitivity of Bit Fusion performance to batch size.
+
+Batching amortizes weight reads across inputs.  The paper sweeps batch sizes
+1 through 256 (default 16) and observes that the bandwidth-bound recurrent
+benchmarks gain more than 20x while the convolutional benchmarks, which
+already reuse weights across spatial positions, gain less than 1.6x; gains
+flatten beyond batch 64 once the bandwidth suffices to keep the Fusion Units
+busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accelerator import BitFusionAccelerator
+from repro.core.config import BitFusionConfig
+from repro.dnn import models
+from repro.harness import paper_data
+
+__all__ = ["BatchRow", "DEFAULT_BATCH_SIZES", "run", "format_table"]
+
+#: Batch sizes swept by the paper.
+DEFAULT_BATCH_SIZES = (1, 4, 16, 64, 256)
+
+
+@dataclass(frozen=True)
+class BatchRow:
+    """One benchmark's per-inference speedup across the batch sweep."""
+
+    benchmark: str
+    speedup_by_batch: dict[int, float]
+    paper_speedup_by_batch: dict[int, float]
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {"benchmark": self.benchmark}
+        for batch, value in sorted(self.speedup_by_batch.items()):
+            row[f"batch {batch}"] = value
+        return row
+
+
+def run(
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    benchmarks: tuple[str, ...] | None = None,
+) -> list[BatchRow]:
+    """Sweep the batch size and normalize per-inference latency to batch 1."""
+    if 1 not in batch_sizes:
+        raise ValueError("the sweep must include batch size 1 (the normalization baseline)")
+    names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
+
+    rows: list[BatchRow] = []
+    for name in names:
+        network = models.load(name)
+        latency_by_batch: dict[int, float] = {}
+        for batch in batch_sizes:
+            config = BitFusionConfig.eyeriss_matched(batch_size=batch)
+            result = BitFusionAccelerator(config).run(network, batch_size=batch)
+            latency_by_batch[batch] = result.latency_per_inference_s
+        reference = latency_by_batch[1]
+        rows.append(
+            BatchRow(
+                benchmark=name,
+                speedup_by_batch={
+                    batch: reference / latency for batch, latency in latency_by_batch.items()
+                },
+                paper_speedup_by_batch=dict(paper_data.FIG16_BATCH_SPEEDUP.get(name, {})),
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[BatchRow]) -> str:
+    from repro.harness.reporting import format_table as _format
+
+    return _format(rows, title="Figure 16 - speedup vs batch size (normalized to batch 1)")

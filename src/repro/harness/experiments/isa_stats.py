@@ -1,0 +1,79 @@
+"""Section IV — Fusion-ISA instruction-block statistics.
+
+The paper claims that blocks of 30-86 instructions suffice to express the
+LSTM, CNN, pooling and fully-connected layers of the evaluated benchmarks,
+which keeps the von Neumann overhead negligible because each block is
+fetched and decoded once per layer.  This experiment compiles every
+benchmark and reports per-block instruction counts and binary footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BitFusionConfig
+from repro.dnn import models
+from repro.harness import paper_data
+from repro.isa.compiler import FusionCompiler
+
+__all__ = ["IsaStatsRow", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class IsaStatsRow:
+    """Instruction-count statistics for one compiled benchmark."""
+
+    benchmark: str
+    blocks: int
+    min_instructions: int
+    max_instructions: int
+    mean_instructions: float
+    total_instructions: int
+    binary_bytes: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "blocks": self.blocks,
+            "min instrs": self.min_instructions,
+            "max instrs": self.max_instructions,
+            "mean instrs": self.mean_instructions,
+            "total instrs": self.total_instructions,
+            "binary bytes": self.binary_bytes,
+        }
+
+
+def run(
+    batch_size: int = 16,
+    benchmarks: tuple[str, ...] | None = None,
+    config: BitFusionConfig | None = None,
+) -> list[IsaStatsRow]:
+    """Compile every benchmark and collect per-block instruction statistics."""
+    names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
+    compiler = FusionCompiler(
+        config if config is not None else BitFusionConfig.eyeriss_matched(batch_size=batch_size)
+    )
+    rows: list[IsaStatsRow] = []
+    for name in names:
+        program = compiler.compile(models.load(name), batch_size=batch_size)
+        counts = [len(compiled.block) for compiled in program]
+        rows.append(
+            IsaStatsRow(
+                benchmark=name,
+                blocks=len(program),
+                min_instructions=min(counts),
+                max_instructions=max(counts),
+                mean_instructions=sum(counts) / len(counts),
+                total_instructions=program.total_instructions(),
+                binary_bytes=program.total_binary_bytes(),
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[IsaStatsRow]) -> str:
+    from repro.harness.reporting import format_table as _format
+
+    low, high = paper_data.ISA_BLOCK_INSTRUCTION_RANGE
+    table = _format(rows, title="Fusion-ISA block statistics (Section IV)")
+    return f"{table}\npaper: {low}-{high} instructions per block for the evaluated layers"

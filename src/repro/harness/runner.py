@@ -1,0 +1,217 @@
+"""One-shot experiment runner: regenerate every table and figure as a report.
+
+``python -m repro.harness`` runs the whole evaluation (or a chosen subset of
+experiments / benchmarks) and writes a markdown report with the reproduced
+tables, each annotated with the paper's published numbers where available.
+The benchmark suite under ``benchmarks/`` exercises the same runners through
+``pytest-benchmark``; this module exists for users who want a single
+command-line entry point and a saveable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.harness.experiments import (
+    ablations,
+    fig01_bitwidths,
+    fig10_fusion_unit,
+    fig13_eyeriss,
+    fig14_breakdown,
+    fig15_bandwidth,
+    fig16_batch,
+    fig17_gpu,
+    fig18_stripes,
+    isa_stats,
+    tab02_benchmarks,
+    tab03_platforms,
+)
+from repro.harness.reporting import format_table
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiments", "build_report", "main"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: an identifier, a description and a renderer."""
+
+    key: str
+    description: str
+    render: Callable[[tuple[str, ...] | None], str]
+
+
+def _render_fig01(benchmarks):
+    return fig01_bitwidths.format_table(fig01_bitwidths.run(benchmarks=benchmarks))
+
+
+def _render_tab02(benchmarks):
+    return tab02_benchmarks.format_table(tab02_benchmarks.run(benchmarks=benchmarks))
+
+
+def _render_tab03(benchmarks):
+    del benchmarks  # the platform table does not depend on the benchmark subset
+    return tab03_platforms.format_table(tab03_platforms.run())
+
+
+def _render_fig10(benchmarks):
+    del benchmarks
+    table = fig10_fusion_unit.format_table(fig10_fusion_unit.run())
+    advantage = format_table(
+        fig10_fusion_unit.run_throughput_advantage(),
+        title="Same-area throughput: spatial fusion vs temporal design",
+    )
+    return f"{table}\n\n{advantage}"
+
+
+def _render_fig13(benchmarks):
+    summary = fig13_eyeriss.run(benchmarks=benchmarks)
+    per_layer = format_table(
+        fig13_eyeriss.run_alexnet_per_layer(),
+        title="AlexNet per-layer improvement over Eyeriss",
+    )
+    return f"{fig13_eyeriss.format_table(summary)}\n\n{per_layer}"
+
+
+def _render_fig14(benchmarks):
+    return fig14_breakdown.format_table(fig14_breakdown.run(benchmarks=benchmarks))
+
+
+def _render_fig15(benchmarks):
+    return fig15_bandwidth.format_table(fig15_bandwidth.run(benchmarks=benchmarks))
+
+
+def _render_fig16(benchmarks):
+    return fig16_batch.format_table(fig16_batch.run(benchmarks=benchmarks))
+
+
+def _render_fig17(benchmarks):
+    return fig17_gpu.format_table(fig17_gpu.run(benchmarks=benchmarks))
+
+
+def _render_fig18(benchmarks):
+    return fig18_stripes.format_table(fig18_stripes.run(benchmarks=benchmarks))
+
+
+def _render_isa(benchmarks):
+    return isa_stats.format_table(isa_stats.run(benchmarks=benchmarks))
+
+
+def _render_ablations(benchmarks):
+    rows = ablations.run(benchmarks=benchmarks)
+    summary = ablations.geomean_summary(rows)
+    lines = [ablations.format_table(rows), "", "geomean impact:"]
+    lines.extend(f"  {key}: {value:.2f}x" for key, value in summary.items())
+    return "\n".join(lines)
+
+
+#: Registry of every experiment the runner knows about, in paper order.
+EXPERIMENTS: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("fig01", "Figure 1 - bitwidth variation", _render_fig01),
+    ExperimentSpec("tab02", "Table II - benchmark characteristics", _render_tab02),
+    ExperimentSpec("tab03", "Table III - evaluated platforms", _render_tab03),
+    ExperimentSpec("fig10", "Figure 10 - Fusion Unit vs temporal design", _render_fig10),
+    ExperimentSpec("fig13", "Figure 13 - improvement over Eyeriss", _render_fig13),
+    ExperimentSpec("fig14", "Figure 14 - energy breakdown", _render_fig14),
+    ExperimentSpec("fig15", "Figure 15 - bandwidth sensitivity", _render_fig15),
+    ExperimentSpec("fig16", "Figure 16 - batch-size sensitivity", _render_fig16),
+    ExperimentSpec("fig17", "Figure 17 - comparison with GPUs", _render_fig17),
+    ExperimentSpec("fig18", "Figure 18 - improvement over Stripes", _render_fig18),
+    ExperimentSpec("isa", "Section IV - ISA block statistics", _render_isa),
+    ExperimentSpec("ablations", "Ablations of the design mechanisms", _render_ablations),
+)
+
+_EXPERIMENTS_BY_KEY = {spec.key: spec for spec in EXPERIMENTS}
+
+
+def run_experiments(
+    keys: list[str] | None = None,
+    benchmarks: tuple[str, ...] | None = None,
+) -> list[tuple[ExperimentSpec, str, float]]:
+    """Run the selected experiments; returns (spec, rendered table, seconds) tuples."""
+    if keys:
+        unknown = [key for key in keys if key not in _EXPERIMENTS_BY_KEY]
+        if unknown:
+            raise KeyError(
+                f"unknown experiment(s) {unknown}; available: {sorted(_EXPERIMENTS_BY_KEY)}"
+            )
+        specs = [_EXPERIMENTS_BY_KEY[key] for key in keys]
+    else:
+        specs = list(EXPERIMENTS)
+
+    results: list[tuple[ExperimentSpec, str, float]] = []
+    for spec in specs:
+        start = time.perf_counter()
+        rendered = spec.render(benchmarks)
+        results.append((spec, rendered, time.perf_counter() - start))
+    return results
+
+
+def build_report(
+    keys: list[str] | None = None,
+    benchmarks: tuple[str, ...] | None = None,
+) -> str:
+    """Run the selected experiments and assemble a markdown report."""
+    sections = ["# Bit Fusion reproduction — experiment report", ""]
+    for spec, rendered, elapsed in run_experiments(keys, benchmarks):
+        sections.append(f"## {spec.description}")
+        sections.append("")
+        sections.append("```")
+        sections.append(rendered)
+        sections.append("```")
+        sections.append(f"_(generated in {elapsed:.2f} s)_")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point (``python -m repro.harness``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the Bit Fusion paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="*",
+        metavar="KEY",
+        help=f"subset of experiments to run (default: all of {[s.key for s in EXPERIMENTS]})",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        metavar="NAME",
+        help="subset of benchmark DNNs to evaluate (default: all eight)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the markdown report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available experiments and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in EXPERIMENTS:
+            print(f"{spec.key:10s} {spec.description}")
+        return 0
+
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else None
+    report = build_report(keys=args.experiments, benchmarks=benchmarks)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Within-layer bitwidth variation via multiple instruction blocks.
+
+Section IV-A notes: *"In this work, we did not explore within layer bitwidth
+variations.  Nevertheless, the Bit Fusion ISA and this incarnation of its
+microarchitecture can readily support it by using multiple instruction
+blocks for an individual layer."*  This module implements that extension.
+
+A layer is split along its output-neuron dimension into *regions*, each with
+its own operand bitwidths (the situation quantization research motivates:
+a small set of outlier channels needs wider operands than the rest).  Every
+region compiles to its own instruction block whose ``setup`` instruction
+re-fuses the BitBricks, so the fabric runs most of the layer at the narrow
+precision and only the outlier region at the wide one.
+
+The function returns ordinary :class:`~repro.isa.program.CompiledBlock`
+objects, so the existing simulator executes mixed-precision layers without
+modification; the ablation-style test quantifies the benefit against running
+the whole layer at the widest precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from math import floor
+
+from repro.core.config import BitFusionConfig
+from repro.dnn.layers import ConvLayer, FCLayer, Layer, LSTMLayer, RNNLayer
+from repro.isa.compiler import FusionCompiler
+from repro.isa.program import CompiledBlock
+
+__all__ = ["BitwidthRegion", "split_layer_by_regions", "compile_layer_with_regions"]
+
+
+@dataclass(frozen=True)
+class BitwidthRegion:
+    """One precision region of a layer.
+
+    Attributes
+    ----------
+    fraction:
+        Fraction of the layer's output neurons (output channels for a
+        convolution, output features for a fully-connected layer) executed
+        at this region's precision.  Fractions across a layer's regions must
+        sum to 1.
+    input_bits, weight_bits:
+        Operand bitwidths of the region.
+    """
+
+    fraction: float
+    input_bits: int
+    weight_bits: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"region fraction must be in (0, 1], got {self.fraction}")
+        for label, bits in (("input_bits", self.input_bits), ("weight_bits", self.weight_bits)):
+            if bits not in (1, 2, 4, 8, 16):
+                raise ValueError(f"{label} must be one of (1, 2, 4, 8, 16), got {bits}")
+
+
+def _output_extent(layer: Layer) -> int:
+    """The output-neuron dimension the regions partition."""
+    if isinstance(layer, ConvLayer):
+        return layer.out_channels
+    if isinstance(layer, FCLayer):
+        return layer.out_features
+    if isinstance(layer, (LSTMLayer, RNNLayer)):
+        return layer.hidden_size
+    raise TypeError(
+        f"within-layer bitwidth variation is not defined for {type(layer).__name__}"
+    )
+
+
+def _with_output_extent(layer: Layer, extent: int, region: BitwidthRegion, index: int) -> Layer:
+    """A copy of ``layer`` restricted to ``extent`` outputs at the region's bitwidths."""
+    name = f"{layer.name}#region{index}"
+    common = {
+        "name": name,
+        "input_bits": region.input_bits,
+        "weight_bits": region.weight_bits,
+    }
+    if isinstance(layer, ConvLayer):
+        return replace(layer, out_channels=extent, **common)
+    if isinstance(layer, FCLayer):
+        return replace(layer, out_features=extent, **common)
+    return replace(layer, hidden_size=extent, **common)
+
+
+def split_layer_by_regions(layer: Layer, regions: list[BitwidthRegion]) -> list[Layer]:
+    """Split a layer into per-region sub-layers covering all of its outputs.
+
+    The regions' fractions must sum to 1 (within floating-point tolerance);
+    rounding residue goes to the last region so the output count is
+    preserved exactly.
+    """
+    if not regions:
+        raise ValueError("at least one bitwidth region is required")
+    total_fraction = sum(region.fraction for region in regions)
+    if abs(total_fraction - 1.0) > 1e-6:
+        raise ValueError(f"region fractions must sum to 1, got {total_fraction}")
+
+    extent = _output_extent(layer)
+    sub_layers: list[Layer] = []
+    assigned = 0
+    for index, region in enumerate(regions):
+        if index == len(regions) - 1:
+            count = extent - assigned
+        else:
+            count = max(1, floor(extent * region.fraction))
+            count = min(count, extent - assigned - (len(regions) - 1 - index))
+        if count <= 0:
+            raise ValueError(
+                f"region {index} of layer {layer.name!r} receives no outputs; "
+                f"use fewer regions or larger fractions (extent={extent})"
+            )
+        sub_layers.append(_with_output_extent(layer, count, region, index))
+        assigned += count
+    return sub_layers
+
+
+def compile_layer_with_regions(
+    layer: Layer,
+    regions: list[BitwidthRegion],
+    config: BitFusionConfig,
+    batch_size: int | None = None,
+) -> list[CompiledBlock]:
+    """Compile one layer into multiple blocks, one per precision region.
+
+    Each returned block carries its own ``setup`` instruction, so the fusion
+    configuration changes between regions exactly as Section IV-A describes.
+    """
+    compiler = FusionCompiler(config)
+    return [
+        compiler.compile_compute_layer(sub_layer, batch_size=batch_size)
+        for sub_layer in split_layer_by_regions(layer, regions)
+    ]

@@ -1,0 +1,117 @@
+"""Compiled programs: the ordered instruction blocks of one network.
+
+A :class:`Program` is what the compiler produces for a whole DNN and what
+the cycle-accurate simulator executes.  Each entry pairs an
+:class:`~repro.isa.block.InstructionBlock` with the compilation metadata the
+simulator needs (the layer it implements, its tiling plan, the chosen loop
+order and any fused follow-on layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.dnn.layers import Layer
+from repro.isa.block import InstructionBlock
+from repro.isa.instructions import LoopOrder
+from repro.isa.tiling import TilingPlan
+
+__all__ = ["CompiledBlock", "Program"]
+
+
+@dataclass(frozen=True)
+class CompiledBlock:
+    """One instruction block plus the metadata the simulator consumes.
+
+    Attributes
+    ----------
+    block:
+        The validated instruction block.
+    layer:
+        The compute layer the block implements.
+    tiling:
+        The tiling plan (tile sizes and off-chip traffic) chosen for it.
+    loop_order:
+        The dataflow ordering picked by the loop-ordering optimization.
+    fused_layers:
+        Pooling/activation layers folded into this block by layer fusion;
+        their intermediate tensors never travel to DRAM.
+    """
+
+    block: InstructionBlock
+    layer: Layer
+    tiling: TilingPlan
+    loop_order: LoopOrder
+    fused_layers: tuple[Layer, ...] = field(default_factory=tuple)
+
+    @property
+    def name(self) -> str:
+        return self.block.name
+
+    @property
+    def is_fused(self) -> bool:
+        return bool(self.fused_layers)
+
+
+class Program:
+    """The ordered list of compiled blocks for one network."""
+
+    def __init__(self, network_name: str, blocks: Sequence[CompiledBlock] = ()) -> None:
+        if not network_name:
+            raise ValueError("program network name must be non-empty")
+        self.network_name = network_name
+        self._blocks: list[CompiledBlock] = list(blocks)
+
+    def append(self, block: CompiledBlock) -> "Program":
+        self._blocks.append(block)
+        return self
+
+    @property
+    def blocks(self) -> list[CompiledBlock]:
+        return list(self._blocks)
+
+    def __iter__(self) -> Iterator[CompiledBlock]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __getitem__(self, index: int) -> CompiledBlock:
+        return self._blocks[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Program({self.network_name!r}, {len(self)} blocks)"
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics
+    # ------------------------------------------------------------------ #
+    def total_instructions(self) -> int:
+        """Total instruction count over all blocks."""
+        return sum(len(compiled.block) for compiled in self)
+
+    def total_binary_bytes(self) -> int:
+        """Total binary footprint of the compiled program."""
+        return sum(compiled.block.stats().binary_bytes for compiled in self)
+
+    def instruction_counts(self) -> dict[str, int]:
+        """Per-block instruction counts, keyed by block name."""
+        return {compiled.name: len(compiled.block) for compiled in self}
+
+    def summary(self) -> str:
+        """Human-readable per-block summary."""
+        lines = [f"Program for {self.network_name}: {len(self)} blocks"]
+        header = (
+            f"{'block':28s} {'instrs':>7s} {'loops':>6s} {'in/wt bits':>10s} "
+            f"{'order':>18s} {'fused':>6s}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for compiled in self:
+            stats = compiled.block.stats()
+            lines.append(
+                f"{compiled.name:28s} {stats.instruction_count:7d} {stats.loop_count:6d} "
+                f"{compiled.block.input_bits:>4d}/{compiled.block.weight_bits:<5d} "
+                f"{compiled.loop_order.value:>18s} {len(compiled.fused_layers):6d}"
+            )
+        return "\n".join(lines)

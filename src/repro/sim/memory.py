@@ -1,0 +1,139 @@
+"""Scratchpad-buffer and DRAM-channel accounting.
+
+The Fusion-ISA decouples on-chip buffer accesses (``rd-buf``/``wr-buf``)
+from off-chip transfers (``ld-mem``/``st-mem``).  The simulator therefore
+tracks the two separately:
+
+* :class:`ScratchpadBuffer` counts data-array accesses of a fixed width
+  (32 bits in the evaluated configuration, Section II-B) and converts bit
+  totals to access counts — the quantity the CACTI-like energy model prices.
+* :class:`DramChannel` accumulates off-chip traffic and converts it to
+  transfer cycles at the configured bandwidth — the quantity the decoupled
+  access/execute timing model overlaps with compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+__all__ = ["ScratchpadBuffer", "DramChannel"]
+
+
+@dataclass
+class ScratchpadBuffer:
+    """One on-chip scratchpad (IBUF, OBUF or WBUF) with access accounting.
+
+    Parameters
+    ----------
+    name:
+        Buffer name used in reports.
+    capacity_kb:
+        Storage capacity.
+    access_bits:
+        Width of one data-array access; the data-infusion register splits
+        this row into operand lanes, so one access can feed several
+        low-bitwidth operands.
+    """
+
+    name: str
+    capacity_kb: float
+    access_bits: int = 32
+    read_accesses: int = field(default=0, init=False)
+    write_accesses: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("buffer name must be non-empty")
+        if self.capacity_kb <= 0:
+            raise ValueError(f"capacity_kb must be positive, got {self.capacity_kb}")
+        if self.access_bits <= 0:
+            raise ValueError(f"access_bits must be positive, got {self.access_bits}")
+
+    @property
+    def capacity_bits(self) -> int:
+        return int(self.capacity_kb * 1024 * 8)
+
+    def fits(self, bits: int) -> bool:
+        """Whether a tile of ``bits`` fits in the buffer."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return bits <= self.capacity_bits
+
+    def accesses_for_bits(self, bits: int) -> int:
+        """Data-array accesses needed to move ``bits`` through the buffer."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return ceil(bits / self.access_bits)
+
+    def record_reads(self, bits: int) -> int:
+        """Account for reading ``bits`` from the buffer; returns accesses added."""
+        accesses = self.accesses_for_bits(bits)
+        self.read_accesses += accesses
+        return accesses
+
+    def record_writes(self, bits: int) -> int:
+        """Account for writing ``bits`` into the buffer; returns accesses added."""
+        accesses = self.accesses_for_bits(bits)
+        self.write_accesses += accesses
+        return accesses
+
+    @property
+    def total_accesses(self) -> int:
+        return self.read_accesses + self.write_accesses
+
+    def reset(self) -> None:
+        self.read_accesses = 0
+        self.write_accesses = 0
+
+
+@dataclass
+class DramChannel:
+    """Off-chip memory channel with bandwidth-based timing.
+
+    Parameters
+    ----------
+    bandwidth_bits_per_cycle:
+        Sustained transfer rate seen by the accelerator (the paper's default
+        configuration provides 128 bits per cycle).
+    """
+
+    bandwidth_bits_per_cycle: int
+    read_bits: int = field(default=0, init=False)
+    write_bits: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bits_per_cycle <= 0:
+            raise ValueError(
+                "bandwidth must be positive, got "
+                f"{self.bandwidth_bits_per_cycle} bits/cycle"
+            )
+
+    def record_read(self, bits: int) -> None:
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        self.read_bits += bits
+
+    def record_write(self, bits: int) -> None:
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        self.write_bits += bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.read_bits + self.write_bits
+
+    def cycles_for_bits(self, bits: int) -> int:
+        """Cycles needed to transfer ``bits`` at the channel bandwidth."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return ceil(bits / self.bandwidth_bits_per_cycle)
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles to transfer everything recorded so far."""
+        return self.cycles_for_bits(self.total_bits)
+
+    def reset(self) -> None:
+        self.read_bits = 0
+        self.write_bits = 0

@@ -1,0 +1,47 @@
+"""Aggregation helpers shared by the experiment harness.
+
+The paper summarizes its per-benchmark comparisons with geometric means
+("geomean" columns of Figures 13, 15-18); these helpers keep that math in
+one place and guard against the usual pitfalls (empty inputs, non-positive
+ratios).
+"""
+
+from __future__ import annotations
+
+from math import exp, log
+
+from repro.sim.results import NetworkResult
+
+__all__ = ["geometric_mean", "speedup", "energy_reduction", "normalize"]
+
+
+def geometric_mean(values: list[float] | tuple[float, ...]) -> float:
+    """Geometric mean of strictly positive values."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        total += log(value)
+    return exp(total / len(values))
+
+
+def speedup(candidate: NetworkResult, baseline: NetworkResult) -> float:
+    """Per-inference speedup of ``candidate`` over ``baseline``."""
+    return candidate.speedup_over(baseline)
+
+
+def energy_reduction(candidate: NetworkResult, baseline: NetworkResult) -> float:
+    """Per-inference energy reduction of ``candidate`` over ``baseline``."""
+    return candidate.energy_reduction_over(baseline)
+
+
+def normalize(values: dict[str, float], reference_key: str) -> dict[str, float]:
+    """Express every value relative to the entry named ``reference_key``."""
+    if reference_key not in values:
+        raise KeyError(f"reference {reference_key!r} not present in {sorted(values)}")
+    reference = values[reference_key]
+    if reference == 0:
+        raise ValueError(f"reference value for {reference_key!r} is zero")
+    return {key: value / reference for key, value in values.items()}

@@ -1,0 +1,96 @@
+"""Tests for the Stripes bit-serial baseline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.stripes import StripesConfig, StripesModel
+from repro.core.accelerator import BitFusionAccelerator
+from repro.core.config import BitFusionConfig
+from repro.dnn import models
+from repro.dnn.layers import FCLayer
+from repro.dnn.network import Network
+
+
+@pytest.fixture
+def stripes() -> StripesModel:
+    return StripesModel()
+
+
+class TestStripesConfig:
+    def test_table3_defaults(self):
+        config = StripesConfig()
+        assert config.tiles == 16
+        assert config.sips_per_tile == 4096
+        assert config.total_sips == 65536
+        assert config.frequency_mhz == 980.0
+        assert config.input_bits == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripesConfig(tiles=0)
+        with pytest.raises(ValueError):
+            StripesConfig(input_bits=4)
+
+
+class TestStripesModel:
+    def test_serial_weight_bits_clamped(self, stripes):
+        assert stripes.serial_weight_bits(FCLayer(name="a", weight_bits=1)) == 1
+        assert stripes.serial_weight_bits(FCLayer(name="b", weight_bits=16)) == 16
+
+    def test_performance_scales_inversely_with_weight_bits(self, stripes):
+        """Stripes' defining property: time is proportional to weight bitwidth."""
+        def cycles(weight_bits: int) -> int:
+            network = Network(
+                f"fc{weight_bits}",
+                [FCLayer(name="fc", in_features=2048, out_features=2048,
+                         input_bits=8, weight_bits=weight_bits)],
+            )
+            return stripes.run(network, batch_size=1).compute_cycles
+
+        assert cycles(8) == pytest.approx(2 * cycles(4), rel=0.05)
+        assert cycles(4) == pytest.approx(2 * cycles(2), rel=0.05)
+
+    def test_input_bitwidth_does_not_help_stripes(self, stripes):
+        """Stripes fixes inputs at 16 bits; only weights benefit from quantization."""
+        narrow_inputs = Network(
+            "n", [FCLayer(name="fc", in_features=1024, out_features=1024,
+                          input_bits=2, weight_bits=4)]
+        )
+        wide_inputs = Network(
+            "w", [FCLayer(name="fc", in_features=1024, out_features=1024,
+                          input_bits=8, weight_bits=4)]
+        )
+        assert (
+            stripes.run(narrow_inputs, 4).compute_cycles
+            == stripes.run(wide_inputs, 4).compute_cycles
+        )
+
+    def test_runs_every_benchmark(self, stripes):
+        for name in models.benchmark_names():
+            result = stripes.run(models.load(name), batch_size=4)
+            assert result.total_cycles > 0
+            assert result.energy.total > 0
+
+    def test_bitfusion_beats_stripes_on_every_benchmark(self, stripes):
+        """Figure 18 direction: Bit Fusion wins everywhere in the matched setup."""
+        accelerator = BitFusionAccelerator(BitFusionConfig.stripes_matched())
+        for name in models.benchmark_names():
+            bf = accelerator.run(models.load(name))
+            st = stripes.run(models.load(name), batch_size=16)
+            assert bf.speedup_over(st) >= 1.0, name
+            assert bf.energy_reduction_over(st) > 1.0, name
+
+    def test_low_input_bitwidth_benchmarks_gain_most(self, stripes):
+        """Figure 18 shape: LeNet-5 (2-bit inputs) gains more than AlexNet (4/8-bit)."""
+        accelerator = BitFusionAccelerator(BitFusionConfig.stripes_matched())
+
+        def speedup(name: str) -> float:
+            bf = accelerator.run(models.load(name))
+            st = stripes.run(models.load(name), batch_size=16)
+            return bf.speedup_over(st)
+
+        assert speedup("LeNet-5") > speedup("AlexNet")
+
+    def test_describe(self, stripes):
+        assert "SIP" in stripes.describe()

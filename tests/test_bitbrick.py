@@ -1,0 +1,132 @@
+"""Unit tests for the BitBrick 2-bit multiply element (paper Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitbrick import (
+    BitBrick,
+    OPERAND_BITS,
+    PRODUCT_BITS,
+    decode_twos_complement,
+    encode_twos_complement,
+)
+
+
+class TestTwosComplementHelpers:
+    def test_encode_positive_value(self):
+        assert encode_twos_complement(3, 4) == 0b0011
+
+    def test_encode_negative_value(self):
+        assert encode_twos_complement(-1, 4) == 0b1111
+        assert encode_twos_complement(-8, 4) == 0b1000
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_twos_complement(8, 4)
+        with pytest.raises(ValueError):
+            encode_twos_complement(-9, 4)
+
+    def test_encode_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            encode_twos_complement(0, 0)
+
+    def test_decode_rejects_out_of_range_word(self):
+        with pytest.raises(ValueError):
+            decode_twos_complement(16, 4)
+        with pytest.raises(ValueError):
+            decode_twos_complement(-1, 4)
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    def test_encode_decode_roundtrip(self, bits, data):
+        value = data.draw(
+            st.integers(min_value=-(1 << (bits - 1)), max_value=(1 << (bits - 1)) - 1)
+        )
+        assert decode_twos_complement(encode_twos_complement(value, bits), bits) == value
+
+
+class TestBitBrickRanges:
+    def test_unsigned_range(self):
+        brick = BitBrick(signed_x=False, signed_y=False)
+        assert brick.x_range == (0, 3)
+        assert brick.y_range == (0, 3)
+
+    def test_signed_range(self):
+        brick = BitBrick(signed_x=True, signed_y=True)
+        assert brick.x_range == (-2, 1)
+        assert brick.y_range == (-2, 1)
+
+    def test_mixed_sign_ranges(self):
+        brick = BitBrick(signed_x=True, signed_y=False)
+        assert brick.x_range == (-2, 1)
+        assert brick.y_range == (0, 3)
+
+    def test_product_range_unsigned(self):
+        assert BitBrick(False, False).product_range == (0, 9)
+
+    def test_product_range_signed(self):
+        lo, hi = BitBrick(True, True).product_range
+        assert lo == -2 * 1
+        assert hi == 4  # (-2) * (-2)
+
+    def test_operand_bits_constant(self):
+        assert OPERAND_BITS == 2
+        assert PRODUCT_BITS == 6
+
+
+class TestBitBrickMultiply:
+    def test_unsigned_multiply_exhaustive(self):
+        brick = BitBrick(signed_x=False, signed_y=False)
+        for x in range(4):
+            for y in range(4):
+                assert brick(x, y) == x * y
+
+    def test_signed_multiply_exhaustive(self):
+        brick = BitBrick(signed_x=True, signed_y=True)
+        for x in range(-2, 2):
+            for y in range(-2, 2):
+                assert brick(x, y) == x * y
+
+    def test_mixed_sign_multiply_exhaustive(self):
+        brick = BitBrick(signed_x=True, signed_y=False)
+        for x in range(-2, 2):
+            for y in range(4):
+                assert brick(x, y) == x * y
+
+    def test_product_word_is_six_bit_twos_complement(self):
+        brick = BitBrick(signed_x=True, signed_y=False)
+        result = brick.multiply(-2, 3)
+        assert result.product == -6
+        assert result.product_word == encode_twos_complement(-6, PRODUCT_BITS)
+        assert 0 <= result.product_word < (1 << PRODUCT_BITS)
+
+    def test_every_product_fits_in_six_bits(self):
+        for signed_x in (False, True):
+            for signed_y in (False, True):
+                brick = BitBrick(signed_x, signed_y)
+                xlo, xhi = brick.x_range
+                ylo, yhi = brick.y_range
+                for x in range(xlo, xhi + 1):
+                    for y in range(ylo, yhi + 1):
+                        word = brick.multiply(x, y).product_word
+                        assert 0 <= word < (1 << PRODUCT_BITS)
+
+    def test_rejects_out_of_range_unsigned_operand(self):
+        brick = BitBrick(signed_x=False, signed_y=False)
+        with pytest.raises(ValueError):
+            brick(4, 1)
+        with pytest.raises(ValueError):
+            brick(1, -1)
+
+    def test_rejects_out_of_range_signed_operand(self):
+        brick = BitBrick(signed_x=True, signed_y=True)
+        with pytest.raises(ValueError):
+            brick(2, 0)
+        with pytest.raises(ValueError):
+            brick(0, -3)
+
+    def test_extended_operands_reported(self):
+        result = BitBrick(True, True).multiply(-2, -1)
+        assert result.x_extended == -2
+        assert result.y_extended == -1

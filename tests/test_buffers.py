@@ -1,0 +1,123 @@
+"""Tests for the data-infusion register (buffer row -> operand lanes)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.buffers import DataInfusionRegister, LaneLayout
+from repro.core.fusion_unit import fusion_config_for
+
+
+@pytest.fixture
+def register() -> DataInfusionRegister:
+    return DataInfusionRegister(row_bits=32)
+
+
+class TestLaneLayout:
+    def test_lanes_per_row_by_bitwidth(self, register):
+        assert register.layout(2).lanes_per_row == 16
+        assert register.layout(4).lanes_per_row == 8
+        assert register.layout(8).lanes_per_row == 4
+        assert register.layout(1).lanes_per_row == 16  # 1-bit rides a 2-bit lane
+        assert register.layout(16).lanes_per_row == 4  # 16-bit moves as 8-bit halves
+
+    def test_layout_utilization(self, register):
+        layout = register.layout(8)
+        assert layout.used_bits == 32
+        assert layout.utilization == 1.0
+
+    def test_rejects_unsupported_operand_width(self, register):
+        with pytest.raises(ValueError):
+            register.layout(3)
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            LaneLayout(lane_bits=0, lanes_per_row=4, row_bits=32)
+        with pytest.raises(ValueError):
+            LaneLayout(lane_bits=4, lanes_per_row=0, row_bits=32)
+
+    def test_register_validation(self):
+        with pytest.raises(ValueError):
+            DataInfusionRegister(row_bits=0)
+        with pytest.raises(ValueError):
+            DataInfusionRegister(row_bits=31)
+
+    def test_fusion_config_layout_helpers(self, register):
+        config = fusion_config_for(8, 2)
+        assert register.input_layout(config).lane_bits == 8
+        assert register.weight_layout(config).lane_bits == 2
+
+
+class TestRowSufficiency:
+    @pytest.mark.parametrize("input_bits", (1, 2, 4, 8, 16))
+    @pytest.mark.parametrize("weight_bits", (1, 2, 4, 8, 16))
+    def test_one_row_per_cycle_feeds_any_configuration(self, register, input_bits, weight_bits):
+        """Figure 4's claim: 32-bit buffer accesses suffice for every fusion config."""
+        assert register.row_feeds_fusion_unit(input_bits, weight_bits)
+
+    def test_narrow_rows_cannot_feed_wide_configurations(self):
+        narrow = DataInfusionRegister(row_bits=8)
+        assert not narrow.row_feeds_fusion_unit(2, 2)  # 16 F-PEs x 2 bits = 32 > 8
+
+
+class TestPackUnpack:
+    def test_roundtrip_signed(self, register):
+        values = [-2, -1, 0, 1, 1, 0, -2, -1]
+        rows = register.pack(values, operand_bits=2)
+        assert len(rows) == 1
+        assert register.unpack(rows, operand_bits=2, count=len(values)) == values
+
+    def test_roundtrip_unsigned(self, register):
+        values = [0, 3, 2, 1, 3, 3]
+        rows = register.pack(values, operand_bits=2, signed=False)
+        assert register.unpack(rows, 2, len(values), signed=False) == values
+
+    def test_roundtrip_eight_bit(self, register):
+        values = [-128, 127, -1, 0, 5]
+        rows = register.pack(values, operand_bits=8)
+        assert len(rows) == 2
+        assert register.unpack(rows, 8, len(values)) == values
+
+    def test_pack_rejects_out_of_range(self, register):
+        with pytest.raises(ValueError):
+            register.pack([4], operand_bits=2, signed=False)
+        with pytest.raises(ValueError):
+            register.pack([2], operand_bits=2, signed=True)
+
+    def test_unpack_requires_enough_rows(self, register):
+        with pytest.raises(ValueError):
+            register.unpack([0], operand_bits=2, count=32)
+        with pytest.raises(ValueError):
+            register.unpack([0], operand_bits=2, count=-1)
+
+    @given(
+        bits=st.sampled_from((2, 4, 8)),
+        data=st.data(),
+    )
+    def test_pack_unpack_roundtrip_property(self, bits, data):
+        register = DataInfusionRegister()
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        values = data.draw(
+            st.lists(st.integers(min_value=lo, max_value=hi), min_size=1, max_size=40)
+        )
+        rows = register.pack(values, operand_bits=bits)
+        assert register.unpack(rows, bits, len(values)) == values
+        # Row count matches the access-count model.
+        assert len(rows) == register.accesses_for_operands(len(values), bits)
+
+
+class TestAccessAccounting:
+    def test_access_counts(self, register):
+        assert register.accesses_for_operands(0, 2) == 0
+        assert register.accesses_for_operands(16, 2) == 1
+        assert register.accesses_for_operands(17, 2) == 2
+        assert register.accesses_for_operands(16, 8) == 4
+        with pytest.raises(ValueError):
+            register.accesses_for_operands(-1, 2)
+
+    def test_access_reduction_vs_sixteen_bit(self, register):
+        """Lower bitwidths proportionally reduce buffer accesses (insight 2)."""
+        assert register.access_reduction_vs_full_width(2) == pytest.approx(4.0)
+        assert register.access_reduction_vs_full_width(4) == pytest.approx(2.0)
+        assert register.access_reduction_vs_full_width(8) == pytest.approx(1.0)

@@ -1,0 +1,185 @@
+"""Tests for the Fusion-ISA compiler (layer and network lowering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnn import models
+from repro.dnn.layers import ActivationLayer, ConvLayer, FCLayer, LSTMLayer, PoolLayer, RNNLayer
+from repro.dnn.network import Network
+from repro.isa.compiler import FusionCompiler, compile_layer, compile_network
+from repro.isa.instructions import Compute, ComputeFn, LdMem, Loop, ScratchpadType, StMem
+
+
+@pytest.fixture
+def compiler(default_config) -> FusionCompiler:
+    return FusionCompiler(default_config)
+
+
+class TestGemmWorkloadLowering:
+    def test_batch_folds_into_r(self, compiler):
+        layer = FCLayer(name="fc", in_features=64, out_features=32)
+        workload = compiler.gemm_workload(layer, batch_size=4)
+        assert workload.r == 4
+        assert workload.m == 32
+        assert workload.n == 64
+
+    def test_conv_repeats_are_spatial_positions(self, compiler):
+        layer = ConvLayer(name="c", in_channels=3, out_channels=8, in_height=8, in_width=8,
+                          kernel=3, padding=1)
+        workload = compiler.gemm_workload(layer, batch_size=2)
+        assert workload.r == 64 * 2
+
+    def test_default_batch_comes_from_config(self, compiler, default_config):
+        layer = FCLayer(name="fc", in_features=8, out_features=8)
+        assert compiler.gemm_workload(layer).r == default_config.batch_size
+
+    def test_rejects_non_gemm_layer(self, compiler):
+        with pytest.raises(ValueError):
+            compiler.gemm_workload(PoolLayer(name="p"))
+
+    def test_rejects_bad_batch(self, compiler):
+        with pytest.raises(ValueError):
+            compiler.gemm_workload(FCLayer(name="fc"), batch_size=0)
+
+
+class TestBlockStructure:
+    def test_block_starts_with_setup_matching_layer_bits(self, compiler):
+        layer = FCLayer(name="fc", in_features=64, out_features=32, input_bits=4, weight_bits=1)
+        compiled = compiler.compile_compute_layer(layer)
+        assert compiled.block.setup.input_bits == 4
+        assert compiled.block.setup.weight_bits == 1
+
+    def test_block_contains_memory_and_compute_instructions(self, compiler):
+        layer = ConvLayer(name="c", in_channels=16, out_channels=32, in_height=14, in_width=14,
+                          kernel=3, padding=1, input_bits=2, weight_bits=2)
+        compiled = compiler.compile_compute_layer(layer)
+        mnemonics = {instruction.mnemonic for instruction in compiled.block}
+        assert {"setup", "loop", "gen-addr", "ld-mem", "st-mem", "rd-buf", "wr-buf",
+                "compute", "block-end"} <= mnemonics
+
+    def test_conv_blocks_express_kernel_walk(self, compiler):
+        layer = ConvLayer(name="c", in_channels=8, out_channels=8, in_height=8, in_width=8,
+                          kernel=5, padding=2)
+        compiled = compiler.compile_compute_layer(layer)
+        kernel_loops = [
+            loop for loop in compiled.block.loops_at_level(1) if loop.iterations == 5
+        ]
+        assert len(kernel_loops) >= 2
+
+    def test_recurrent_blocks_have_gate_loop(self, compiler):
+        layer = LSTMLayer(name="lstm", input_size=64, hidden_size=64, input_bits=4, weight_bits=4)
+        compiled = compiler.compile_compute_layer(layer)
+        assert any(loop.iterations == 4 for loop in compiled.block.loops_at_level(1))
+        rnn = RNNLayer(name="rnn", input_size=64, hidden_size=64)
+        rnn_block = compiler.compile_compute_layer(rnn)
+        assert len(rnn_block.block) > 0
+
+    def test_instruction_counts_in_paper_range(self, compiler):
+        """Section IV-A: a few tens of instructions per block."""
+        for layer in (
+            FCLayer(name="fc", in_features=1024, out_features=1024),
+            ConvLayer(name="c", in_channels=64, out_channels=64, in_height=28, in_width=28,
+                      kernel=3, padding=1),
+            LSTMLayer(name="l", input_size=512, hidden_size=512),
+        ):
+            compiled = compiler.compile_compute_layer(layer)
+            assert 20 <= len(compiled.block) <= 90
+
+    def test_memory_loops_iterate_over_tiles(self, compiler):
+        layer = FCLayer(name="fc", in_features=8192, out_features=8192,
+                        input_bits=8, weight_bits=8)
+        compiled = compiler.compile_compute_layer(layer)
+        outer_loops = compiled.block.loops_at_level(0)
+        trip_product = 1
+        for loop in outer_loops:
+            trip_product *= loop.iterations
+        assert trip_product >= compiled.tiling.tile_count
+
+    def test_ld_mem_words_match_tile_sizes(self, compiler):
+        layer = FCLayer(name="fc", in_features=256, out_features=128, input_bits=8, weight_bits=8)
+        compiled = compiler.compile_compute_layer(layer)
+        loads = [i for i in compiled.block if isinstance(i, LdMem)]
+        by_target = {load.scratchpad: load.num_words for load in loads}
+        assert by_target[ScratchpadType.WBUF] == min(
+            compiled.tiling.tile_m * compiled.tiling.tile_n, (1 << 16) - 1
+        )
+
+
+class TestAuxiliaryLayerCompilation:
+    def test_pool_layer_compiles_to_max_block(self, compiler):
+        layer = PoolLayer(name="p", channels=8, in_height=8, in_width=8, kernel=2, stride=2)
+        compiled = compiler.compile_auxiliary_layer(layer)
+        fns = [i.fn for i in compiled.block if isinstance(i, Compute)]
+        assert fns == [ComputeFn.MAX]
+        assert compiled.layer is layer
+
+    def test_avg_pool_uses_add(self, compiler):
+        layer = PoolLayer(name="p", channels=8, in_height=8, in_width=8, kernel=2, stride=2,
+                          mode="avg")
+        compiled = compiler.compile_auxiliary_layer(layer)
+        assert any(i.fn is ComputeFn.ADD for i in compiled.block if isinstance(i, Compute))
+
+    def test_activation_layer_compiles_to_activation_block(self, compiler):
+        layer = ActivationLayer(name="a", elements=256)
+        compiled = compiler.compile_auxiliary_layer(layer)
+        assert any(i.fn is ComputeFn.ACTIVATION for i in compiled.block if isinstance(i, Compute))
+
+    def test_rejects_compute_layer(self, compiler):
+        with pytest.raises(ValueError):
+            compiler.compile_auxiliary_layer(FCLayer(name="fc"))
+
+
+class TestNetworkCompilation:
+    def test_fused_network_has_fewer_blocks_than_layers(self, default_config):
+        network = models.load("LeNet-5")
+        program = compile_network(network, default_config)
+        assert len(program) < len(network)
+        assert any(compiled.is_fused for compiled in program)
+
+    def test_unfused_network_has_block_per_layer(self, default_config):
+        network = models.load("LeNet-5")
+        compiler = FusionCompiler(default_config, enable_layer_fusion=False)
+        program = compiler.compile(network)
+        assert len(program) == len(network)
+
+    def test_fused_block_output_traffic_shrinks(self, default_config):
+        network = Network(
+            "conv-pool",
+            [
+                ConvLayer(name="conv", in_channels=8, out_channels=16, in_height=16, in_width=16,
+                          kernel=3, padding=1, input_bits=4, weight_bits=2, output_bits=4),
+                PoolLayer(name="pool", channels=16, in_height=16, in_width=16, kernel=2, stride=2,
+                          input_bits=4, weight_bits=2, output_bits=4),
+            ],
+        )
+        fused_program = FusionCompiler(default_config).compile(network)
+        unfused_program = FusionCompiler(default_config, enable_layer_fusion=False).compile(network)
+        fused_store = fused_program[0].tiling.dram_output_write_bits
+        unfused_store = unfused_program[0].tiling.dram_output_write_bits
+        assert fused_store < unfused_store
+
+    def test_every_compute_layer_gets_a_block(self, default_config):
+        network = models.load("Cifar-10")
+        program = compile_network(network, default_config)
+        compiled_heads = {compiled.layer.name for compiled in program}
+        compute_names = {layer.name for layer in network.compute_layers()}
+        assert compute_names <= compiled_heads
+
+    def test_compile_layer_convenience_wrapper(self, default_config):
+        compute = compile_layer(FCLayer(name="fc", in_features=32, out_features=8), default_config)
+        auxiliary = compile_layer(PoolLayer(name="p"), default_config)
+        assert compute.layer.name == "fc"
+        assert auxiliary.layer.name == "p"
+
+    def test_program_blocks_store_st_mem(self, default_config):
+        program = compile_network(models.load("LSTM"), default_config)
+        for compiled in program:
+            assert any(isinstance(i, StMem) for i in compiled.block)
+
+    def test_loop_iterations_fit_isa_fields(self, default_config):
+        for name in ("AlexNet", "ResNet-18"):
+            program = compile_network(models.load(name), default_config)
+            for compiled in program:
+                for loop in compiled.block.loops():
+                    assert 1 <= loop.iterations <= (1 << 16) - 1

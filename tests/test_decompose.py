@@ -1,0 +1,148 @@
+"""Tests for the wide-multiply decomposition onto 2-bit bricks (Equations 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import (
+    SUPPORTED_BITWIDTHS,
+    bricks_required,
+    decompose_multiply,
+    decompose_operand,
+    recompose_product,
+)
+
+
+def _operand_range(bits: int, signed: bool) -> tuple[int, int]:
+    if signed:
+        return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return 0, (1 << bits) - 1
+
+
+class TestDecomposeOperand:
+    @pytest.mark.parametrize("bits", SUPPORTED_BITWIDTHS)
+    def test_slices_reassemble_to_value_unsigned(self, bits):
+        lo, hi = _operand_range(bits, signed=False)
+        for value in (lo, hi, (lo + hi) // 2, 1):
+            slices = decompose_operand(value, bits, signed=False)
+            assert sum(s.value << s.shift for s in slices) == value
+
+    @pytest.mark.parametrize("bits", SUPPORTED_BITWIDTHS)
+    def test_slices_reassemble_to_value_signed(self, bits):
+        lo, hi = _operand_range(bits, signed=True)
+        for value in (lo, hi, -1, 0, 1):
+            slices = decompose_operand(value, bits, signed=True)
+            assert sum(s.value << s.shift for s in slices) == value
+
+    def test_slice_count_matches_bitwidth(self):
+        for bits in SUPPORTED_BITWIDTHS:
+            assert len(decompose_operand(0, bits, signed=True)) == bits // 2
+
+    def test_only_top_slice_is_signed(self):
+        slices = decompose_operand(-100, 8, signed=True)
+        assert [s.signed for s in slices] == [False, False, False, True]
+
+    def test_unsigned_slices_never_signed(self):
+        slices = decompose_operand(200, 8, signed=False)
+        assert all(not s.signed for s in slices)
+
+    def test_slice_values_fit_brick_inputs(self):
+        for value in (-128, -1, 0, 127):
+            for s in decompose_operand(value, 8, signed=True):
+                if s.signed:
+                    assert -2 <= s.value <= 1
+                else:
+                    assert 0 <= s.value <= 3
+
+    def test_rejects_unsupported_bitwidth(self):
+        with pytest.raises(ValueError):
+            decompose_operand(0, 3, signed=True)
+        with pytest.raises(ValueError):
+            decompose_operand(0, 32, signed=True)
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            decompose_operand(200, 8, signed=True)
+        with pytest.raises(ValueError):
+            decompose_operand(-1, 8, signed=False)
+
+
+class TestDecomposeMultiply:
+    @pytest.mark.parametrize("a_bits", SUPPORTED_BITWIDTHS)
+    @pytest.mark.parametrize("b_bits", SUPPORTED_BITWIDTHS)
+    def test_brick_count_is_quadratic_in_bitwidth(self, a_bits, b_bits):
+        decomposition = decompose_multiply(1, 1, a_bits, b_bits)
+        assert decomposition.brick_count == (a_bits // 2) * (b_bits // 2)
+
+    def test_paper_figure6_example(self):
+        """The 4-bit example of Figure 6: 11 x 6 = 66 via four 2-bit multiplies."""
+        decomposition = decompose_multiply(11, 6, 4, 4, a_signed=False, b_signed=False)
+        assert decomposition.brick_count == 4
+        assert recompose_product(decomposition) == 66
+        shifts = sorted(op.shift for op in decomposition.operations)
+        assert shifts == [0, 2, 2, 4]
+
+    def test_paper_figure7_example(self):
+        """The mixed 4x2-bit example of Figure 7: 15*1 + 10*2 = 35."""
+        first = decompose_multiply(15, 1, 4, 2, a_signed=False, b_signed=False)
+        second = decompose_multiply(10, 2, 4, 2, a_signed=False, b_signed=False)
+        assert first.brick_count == 2
+        assert second.brick_count == 2
+        assert recompose_product(first) + recompose_product(second) == 35
+
+    def test_expected_product_property(self):
+        decomposition = decompose_multiply(-7, 13, 8, 8)
+        assert decomposition.expected_product == -91
+
+
+class TestRecomposeProduct:
+    @pytest.mark.parametrize("a_bits", SUPPORTED_BITWIDTHS)
+    @pytest.mark.parametrize("b_bits", SUPPORTED_BITWIDTHS)
+    @pytest.mark.parametrize("a_signed", (False, True))
+    @pytest.mark.parametrize("b_signed", (False, True))
+    def test_recomposition_matches_product_at_corners(self, a_bits, b_bits, a_signed, b_signed):
+        a_lo, a_hi = _operand_range(a_bits, a_signed)
+        b_lo, b_hi = _operand_range(b_bits, b_signed)
+        for a in {a_lo, a_hi, 0, 1, a_hi // 2}:
+            for b in {b_lo, b_hi, 0, 1, b_hi // 2}:
+                decomposition = decompose_multiply(
+                    a, b, a_bits, b_bits, a_signed=a_signed, b_signed=b_signed
+                )
+                assert recompose_product(decomposition) == a * b
+
+    @settings(max_examples=200)
+    @given(
+        a_bits=st.sampled_from(SUPPORTED_BITWIDTHS),
+        b_bits=st.sampled_from(SUPPORTED_BITWIDTHS),
+        a_signed=st.booleans(),
+        b_signed=st.booleans(),
+        data=st.data(),
+    )
+    def test_recomposition_is_lossless_property(self, a_bits, b_bits, a_signed, b_signed, data):
+        """Property: decomposition onto BitBricks never loses precision."""
+        a_lo, a_hi = _operand_range(a_bits, a_signed)
+        b_lo, b_hi = _operand_range(b_bits, b_signed)
+        a = data.draw(st.integers(min_value=a_lo, max_value=a_hi))
+        b = data.draw(st.integers(min_value=b_lo, max_value=b_hi))
+        decomposition = decompose_multiply(
+            a, b, a_bits, b_bits, a_signed=a_signed, b_signed=b_signed
+        )
+        assert recompose_product(decomposition) == a * b
+
+
+class TestBricksRequired:
+    def test_one_bit_operands_occupy_a_full_brick(self):
+        assert bricks_required(1, 1) == 1
+        assert bricks_required(1, 8) == 4
+
+    def test_matches_paper_configurations(self):
+        assert bricks_required(2, 2) == 1
+        assert bricks_required(8, 2) == 4
+        assert bricks_required(4, 4) == 4
+        assert bricks_required(8, 8) == 16
+        assert bricks_required(16, 16) == 64
+
+    def test_rejects_unsupported_widths(self):
+        with pytest.raises(ValueError):
+            bricks_required(3, 4)

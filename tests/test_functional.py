@@ -1,0 +1,170 @@
+"""Tests for the NumPy reference layer arithmetic (repro.dnn.functional)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.functional import (
+    ACCUMULATOR_BITS,
+    avg_pool2d,
+    check_accumulator_range,
+    conv2d,
+    conv2d_gemm,
+    fully_connected,
+    im2col,
+    lstm_cell,
+    max_pool2d,
+    relu,
+    rnn_cell,
+)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        inputs = rng.integers(-4, 4, size=(3, 8, 8))
+        columns = im2col(inputs, kernel=3, stride=1, padding=1)
+        assert columns.shape == (27, 64)
+
+    def test_identity_kernel_one(self, rng):
+        inputs = rng.integers(-4, 4, size=(2, 4, 4))
+        columns = im2col(inputs, kernel=1)
+        np.testing.assert_array_equal(columns, inputs.reshape(2, -1))
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 2, 2)), kernel=5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 4, 4)), kernel=0)
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 4, 4)), kernel=2, padding=-1)
+        with pytest.raises(ValueError):
+            im2col(np.zeros((4, 4)), kernel=2)
+
+
+class TestConv2d:
+    def test_matches_manual_small_case(self):
+        inputs = np.arange(16).reshape(1, 4, 4)
+        weights = np.ones((1, 1, 2, 2), dtype=np.int64)
+        out = conv2d(inputs, weights, stride=1, padding=0)
+        assert out.shape == (1, 3, 3)
+        assert out[0, 0, 0] == 0 + 1 + 4 + 5
+
+    def test_stride_and_padding(self, rng):
+        inputs = rng.integers(-8, 8, size=(3, 9, 9))
+        weights = rng.integers(-2, 2, size=(4, 3, 3, 3))
+        out = conv2d(inputs, weights, stride=2, padding=1)
+        assert out.shape == (4, 5, 5)
+
+    def test_gemm_lowering_matches_direct_convolution(self, rng):
+        inputs = rng.integers(-8, 8, size=(3, 6, 6))
+        weights = rng.integers(-8, 8, size=(5, 3, 3, 3))
+        weight_matrix, columns = conv2d_gemm(inputs, weights, stride=1, padding=1)
+        direct = conv2d(inputs, weights, stride=1, padding=1)
+        np.testing.assert_array_equal((weight_matrix @ columns).reshape(direct.shape), direct)
+
+    def test_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((2, 4, 4)), np.zeros((1, 3, 3, 3)))
+
+    def test_rejects_non_square_kernel(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((1, 4, 4)), np.zeros((1, 1, 2, 3)))
+
+
+class TestFullyConnected:
+    def test_matches_numpy(self, rng):
+        weights = rng.integers(-8, 8, size=(10, 20))
+        inputs = rng.integers(-8, 8, size=20)
+        np.testing.assert_array_equal(fully_connected(inputs, weights), weights @ inputs)
+
+    def test_batched_inputs(self, rng):
+        weights = rng.integers(-8, 8, size=(10, 20))
+        inputs = rng.integers(-8, 8, size=(20, 5))
+        assert fully_connected(inputs, weights).shape == (10, 5)
+
+    def test_bias_addition(self, rng):
+        weights = rng.integers(-8, 8, size=(4, 6))
+        inputs = rng.integers(-8, 8, size=6)
+        bias = np.array([1, 2, 3, 4])
+        np.testing.assert_array_equal(
+            fully_connected(inputs, weights, bias), weights @ inputs + bias
+        )
+
+    def test_rejects_mismatched_bias(self):
+        with pytest.raises(ValueError):
+            fully_connected(np.zeros(6), np.zeros((4, 6)), bias=np.zeros(5))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            fully_connected(np.zeros(5), np.zeros((4, 6)))
+
+
+class TestPoolingAndActivation:
+    def test_max_pool(self):
+        inputs = np.arange(16).reshape(1, 4, 4)
+        out = max_pool2d(inputs, kernel=2)
+        np.testing.assert_array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_uses_integer_division(self):
+        inputs = np.array([[[1, 2], [3, 5]]])
+        out = avg_pool2d(inputs, kernel=2)
+        assert out[0, 0, 0] == (1 + 2 + 3 + 5) // 4
+
+    def test_pool_with_explicit_stride(self, rng):
+        inputs = rng.integers(0, 8, size=(2, 6, 6))
+        assert max_pool2d(inputs, kernel=3, stride=3).shape == (2, 2, 2)
+
+    def test_pool_rejects_empty_output(self):
+        with pytest.raises(ValueError):
+            max_pool2d(np.zeros((1, 2, 2)), kernel=4)
+
+    def test_relu_clamps_negative_values(self):
+        np.testing.assert_array_equal(relu(np.array([-3, 0, 5])), [0, 0, 5])
+
+
+class TestRecurrentCells:
+    def test_lstm_cell_shapes_and_ranges(self, rng):
+        hidden_size = 16
+        inputs = rng.integers(-8, 8, size=8)
+        hidden = rng.integers(-8, 8, size=hidden_size)
+        weights = rng.integers(-8, 8, size=(4 * hidden_size, 8 + hidden_size))
+        new_hidden, new_cell = lstm_cell(inputs, hidden, np.zeros(hidden_size), weights)
+        assert new_hidden.shape == (hidden_size,)
+        assert new_cell.shape == (hidden_size,)
+        assert np.all(np.abs(new_hidden) <= 1.0)
+
+    def test_lstm_cell_rejects_bad_weight_shape(self, rng):
+        with pytest.raises(ValueError):
+            lstm_cell(np.zeros(4), np.zeros(4), np.zeros(4), np.zeros((4, 8)))
+
+    def test_rnn_cell_is_tanh_bounded(self, rng):
+        hidden = rng.integers(-8, 8, size=12)
+        inputs = rng.integers(-8, 8, size=6)
+        weights = rng.integers(-8, 8, size=(12, 18))
+        out = rnn_cell(inputs, hidden, weights)
+        assert out.shape == (12,)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_rnn_cell_rejects_bad_weight_shape(self):
+        with pytest.raises(ValueError):
+            rnn_cell(np.zeros(4), np.zeros(4), np.zeros((4, 9)))
+
+
+class TestAccumulatorRange:
+    def test_accepts_values_in_range(self):
+        check_accumulator_range(np.array([0, 2**30, -(2**30)]))
+
+    def test_rejects_overflowing_values(self):
+        with pytest.raises(OverflowError):
+            check_accumulator_range(np.array([2**31]))
+        with pytest.raises(OverflowError):
+            check_accumulator_range(np.array([-(2**31) - 1]))
+
+    def test_empty_input_is_fine(self):
+        check_accumulator_range(np.array([]))
+
+    def test_default_width_is_32(self):
+        assert ACCUMULATOR_BITS == 32

@@ -1,0 +1,126 @@
+"""Tests for the Fusion-ISA instruction dataclasses and field validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instructions import (
+    BlockEnd,
+    Compute,
+    ComputeFn,
+    GenAddr,
+    LdMem,
+    Loop,
+    Opcode,
+    RdBuf,
+    ScratchpadType,
+    Setup,
+    StMem,
+    WrBuf,
+)
+
+
+class TestOpcodesAndMnemonics:
+    def test_opcode_values_fit_five_bits(self):
+        assert all(0 <= opcode < 32 for opcode in Opcode)
+
+    def test_table1_instruction_set_is_complete(self):
+        """Table I lists nine instruction kinds."""
+        assert len(Opcode) == 9
+
+    def test_mnemonics_use_hyphen_style(self):
+        assert Setup(8, 8).mnemonic == "setup"
+        assert BlockEnd().mnemonic == "block-end"
+        assert LdMem(ScratchpadType.IBUF, 4).mnemonic == "ld-mem"
+        assert StMem(ScratchpadType.OBUF, 4).mnemonic == "st-mem"
+        assert RdBuf(ScratchpadType.WBUF).mnemonic == "rd-buf"
+        assert WrBuf(ScratchpadType.OBUF).mnemonic == "wr-buf"
+        assert GenAddr(ScratchpadType.IBUF, 0, 1).mnemonic == "gen-addr"
+        assert Loop(0, 1).mnemonic == "loop"
+        assert Compute().mnemonic == "compute"
+
+
+class TestSetup:
+    def test_valid_bitwidths(self):
+        instruction = Setup(input_bits=4, weight_bits=1)
+        assert instruction.opcode is Opcode.SETUP
+        assert instruction.input_bits == 4
+
+    @pytest.mark.parametrize("bits", [0, 3, 5, 32])
+    def test_rejects_unsupported_bitwidths(self, bits):
+        with pytest.raises(ValueError):
+            Setup(input_bits=bits, weight_bits=8)
+        with pytest.raises(ValueError):
+            Setup(input_bits=8, weight_bits=bits)
+
+
+class TestBlockEnd:
+    def test_next_block_field(self):
+        assert BlockEnd(next_block=100).next_block == 100
+
+    def test_rejects_oversized_address(self):
+        with pytest.raises(ValueError):
+            BlockEnd(next_block=1 << 16)
+
+
+class TestLoop:
+    def test_fields(self):
+        loop = Loop(loop_id=5, iterations=100, level=1)
+        assert loop.opcode is Opcode.LOOP
+        assert loop.iterations == 100
+
+    def test_rejects_non_positive_iterations(self):
+        with pytest.raises(ValueError):
+            Loop(loop_id=0, iterations=0)
+
+    def test_rejects_oversized_fields(self):
+        with pytest.raises(ValueError):
+            Loop(loop_id=64, iterations=1)
+        with pytest.raises(ValueError):
+            Loop(loop_id=0, iterations=1 << 16)
+        with pytest.raises(ValueError):
+            Loop(loop_id=0, iterations=1, level=4)
+
+
+class TestGenAddr:
+    def test_fields(self):
+        instruction = GenAddr(scratchpad=ScratchpadType.WBUF, loop_id=3, stride=17)
+        assert instruction.opcode is Opcode.GEN_ADDR
+        assert instruction.scratchpad is ScratchpadType.WBUF
+
+    def test_rejects_negative_stride(self):
+        with pytest.raises(ValueError):
+            GenAddr(ScratchpadType.IBUF, 0, -1)
+
+    def test_rejects_oversized_stride(self):
+        with pytest.raises(ValueError):
+            GenAddr(ScratchpadType.IBUF, 0, 1 << 16)
+
+
+class TestMemoryInstructions:
+    @pytest.mark.parametrize("cls", [LdMem, StMem])
+    def test_num_words_validation(self, cls):
+        assert cls(ScratchpadType.OBUF, 1).num_words == 1
+        with pytest.raises(ValueError):
+            cls(ScratchpadType.OBUF, 0)
+        with pytest.raises(ValueError):
+            cls(ScratchpadType.OBUF, 1 << 16)
+
+    def test_scratchpad_types(self):
+        assert {ScratchpadType.IBUF, ScratchpadType.OBUF, ScratchpadType.WBUF} == set(
+            ScratchpadType
+        )
+
+
+class TestCompute:
+    def test_default_function_is_macc(self):
+        assert Compute().fn is ComputeFn.MACC
+
+    def test_supported_functions(self):
+        assert {fn.value for fn in ComputeFn} == {"macc", "max", "add", "activation"}
+
+    def test_instructions_are_hashable_and_frozen(self):
+        instruction = Compute()
+        with pytest.raises(AttributeError):
+            instruction.fn = ComputeFn.MAX
+        assert hash(Compute()) == hash(Compute())

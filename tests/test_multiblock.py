@@ -1,0 +1,112 @@
+"""Tests for within-layer bitwidth variation (multiple blocks per layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnn.layers import ConvLayer, FCLayer, LSTMLayer, PoolLayer
+from repro.isa.multiblock import (
+    BitwidthRegion,
+    compile_layer_with_regions,
+    split_layer_by_regions,
+)
+from repro.sim.executor import BitFusionSimulator
+
+
+@pytest.fixture
+def mixed_regions() -> list[BitwidthRegion]:
+    """90% of the outputs at 2-bit, a 10% outlier region at 8-bit."""
+    return [
+        BitwidthRegion(fraction=0.9, input_bits=2, weight_bits=2),
+        BitwidthRegion(fraction=0.1, input_bits=8, weight_bits=8),
+    ]
+
+
+class TestBitwidthRegion:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitwidthRegion(fraction=0.0, input_bits=2, weight_bits=2)
+        with pytest.raises(ValueError):
+            BitwidthRegion(fraction=1.5, input_bits=2, weight_bits=2)
+        with pytest.raises(ValueError):
+            BitwidthRegion(fraction=0.5, input_bits=3, weight_bits=2)
+
+
+class TestSplitLayer:
+    def test_split_preserves_output_count_and_macs(self, mixed_regions):
+        layer = FCLayer(name="fc", in_features=512, out_features=1000)
+        parts = split_layer_by_regions(layer, mixed_regions)
+        assert sum(part.out_features for part in parts) == 1000
+        assert sum(part.macs() for part in parts) == layer.macs()
+
+    def test_split_conv_layer(self, mixed_regions):
+        layer = ConvLayer(name="conv", in_channels=64, out_channels=128, in_height=14,
+                          in_width=14, kernel=3, padding=1)
+        parts = split_layer_by_regions(layer, mixed_regions)
+        assert sum(part.out_channels for part in parts) == 128
+        assert parts[0].weight_bits == 2
+        assert parts[1].weight_bits == 8
+
+    def test_split_recurrent_layer(self, mixed_regions):
+        layer = LSTMLayer(name="lstm", input_size=128, hidden_size=256)
+        parts = split_layer_by_regions(layer, mixed_regions)
+        assert sum(part.hidden_size for part in parts) == 256
+
+    def test_region_names_are_unique(self, mixed_regions):
+        layer = FCLayer(name="fc", in_features=64, out_features=64)
+        parts = split_layer_by_regions(layer, mixed_regions)
+        assert len({part.name for part in parts}) == len(parts)
+
+    def test_fractions_must_sum_to_one(self):
+        layer = FCLayer(name="fc", in_features=64, out_features=64)
+        with pytest.raises(ValueError):
+            split_layer_by_regions(layer, [BitwidthRegion(0.5, 2, 2)])
+        with pytest.raises(ValueError):
+            split_layer_by_regions(layer, [])
+
+    def test_unsupported_layer_type(self, mixed_regions):
+        with pytest.raises(TypeError):
+            split_layer_by_regions(PoolLayer(name="p"), mixed_regions)
+
+    def test_too_many_regions_for_tiny_layer(self):
+        layer = FCLayer(name="fc", in_features=8, out_features=2)
+        regions = [BitwidthRegion(0.25, 2, 2)] * 3 + [BitwidthRegion(0.25, 8, 8)]
+        with pytest.raises(ValueError):
+            split_layer_by_regions(layer, regions)
+
+
+class TestCompileWithRegions:
+    def test_each_region_gets_its_own_setup(self, default_config, mixed_regions):
+        layer = FCLayer(name="fc", in_features=1024, out_features=1024)
+        blocks = compile_layer_with_regions(layer, mixed_regions, default_config)
+        assert len(blocks) == 2
+        assert blocks[0].block.setup.weight_bits == 2
+        assert blocks[1].block.setup.weight_bits == 8
+
+    def test_mixed_precision_beats_uniform_wide_execution(self, default_config, mixed_regions):
+        """Running the 8-bit outliers separately beats running everything at 8-bit."""
+        layer = ConvLayer(name="conv", in_channels=128, out_channels=256, in_height=28,
+                          in_width=28, kernel=3, padding=1, input_bits=8, weight_bits=8)
+        simulator = BitFusionSimulator(default_config)
+
+        uniform_block = compile_layer_with_regions(
+            layer, [BitwidthRegion(1.0, 8, 8)], default_config
+        )[0]
+        uniform_cycles = simulator.run_block(uniform_block).total_cycles
+
+        mixed_blocks = compile_layer_with_regions(layer, mixed_regions, default_config)
+        mixed_cycles = sum(simulator.run_block(block).total_cycles for block in mixed_blocks)
+
+        assert mixed_cycles < uniform_cycles
+        # And it cannot beat running everything at the narrow precision.
+        narrow_block = compile_layer_with_regions(
+            layer, [BitwidthRegion(1.0, 2, 2)], default_config
+        )[0]
+        assert simulator.run_block(narrow_block).total_cycles < mixed_cycles
+
+    def test_simulated_macs_preserved_across_regions(self, default_config, mixed_regions):
+        layer = FCLayer(name="fc", in_features=2048, out_features=4096)
+        simulator = BitFusionSimulator(default_config)
+        blocks = compile_layer_with_regions(layer, mixed_regions, default_config, batch_size=4)
+        total_macs = sum(simulator.run_block(block).macs for block in blocks)
+        assert total_macs == layer.macs() * 4

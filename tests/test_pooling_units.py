@@ -1,0 +1,106 @@
+"""Tests for the per-column pooling and activation units (Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pooling import ActivationUnit, PoolingUnit
+from repro.dnn.functional import max_pool2d, relu
+
+
+class TestPoolingUnit:
+    def test_max_pooling_matches_reference(self, rng):
+        unit = PoolingUnit(kernel=2)
+        feature_map = rng.integers(-8, 8, size=(4, 6, 6))
+        np.testing.assert_array_equal(unit.apply(feature_map), max_pool2d(feature_map, 2, 2))
+
+    def test_average_pooling_mode(self):
+        unit = PoolingUnit(kernel=2, mode="avg")
+        feature_map = np.array([[[4, 8], [0, 4]]])
+        assert unit.apply(feature_map)[0, 0, 0] == 4
+
+    def test_explicit_stride(self, rng):
+        unit = PoolingUnit(kernel=3, stride=3)
+        feature_map = rng.integers(0, 4, size=(2, 9, 9))
+        assert unit.apply(feature_map).shape == (2, 3, 3)
+        assert unit.effective_stride == 3
+
+    def test_comparisons_per_output(self):
+        assert PoolingUnit(kernel=2).comparisons_per_output() == 3
+        assert PoolingUnit(kernel=3).comparisons_per_output() == 8
+
+    def test_output_elements(self):
+        unit = PoolingUnit(kernel=2)
+        assert unit.output_elements(channels=8, height=8, width=8) == 8 * 16
+
+    def test_output_elements_validation(self):
+        unit = PoolingUnit(kernel=4)
+        with pytest.raises(ValueError):
+            unit.output_elements(channels=1, height=2, width=2)
+        with pytest.raises(ValueError):
+            unit.output_elements(channels=0, height=8, width=8)
+
+    def test_cycles_scale_with_work_and_columns(self):
+        unit = PoolingUnit(kernel=2)
+        narrow = unit.cycles_for(channels=64, height=32, width=32, columns=4)
+        wide = unit.cycles_for(channels=64, height=32, width=32, columns=16)
+        assert narrow == 4 * wide
+        with pytest.raises(ValueError):
+            unit.cycles_for(channels=64, height=32, width=32, columns=0)
+
+    def test_fused_pooling_hides_under_compute(self):
+        """The pooling units keep up with the array: far fewer cycles than the GEMM."""
+        unit = PoolingUnit(kernel=2)
+        pooling_cycles = unit.cycles_for(channels=128, height=32, width=32, columns=16)
+        # The preceding 3x3x128->128 convolution at 2-bit takes ~hundreds of
+        # thousands of cycles on the 32x16 array; pooling takes a few thousand.
+        assert pooling_cycles < 50_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoolingUnit(kernel=0)
+        with pytest.raises(ValueError):
+            PoolingUnit(kernel=2, stride=0)
+        with pytest.raises(ValueError):
+            PoolingUnit(kernel=2, mode="median")
+
+
+class TestActivationUnit:
+    def test_relu_matches_reference(self, rng):
+        unit = ActivationUnit(function="relu", output_bits=16)
+        values = rng.integers(-1000, 1000, size=50)
+        np.testing.assert_array_equal(unit.apply(values), np.clip(relu(values), None, (1 << 15) - 1))
+
+    def test_identity_function_only_requantizes(self):
+        unit = ActivationUnit(function="identity", output_bits=4)
+        np.testing.assert_array_equal(unit.apply(np.array([-100, -3, 3, 100])), [-8, -3, 3, 7])
+
+    def test_requantization_saturates_to_output_bits(self):
+        unit = ActivationUnit(function="relu", output_bits=2)
+        out = unit.apply(np.array([-5, 0, 1, 99]))
+        assert out.min() >= -2
+        assert out.max() <= 1
+
+    def test_scale_shift_applies_before_saturation(self):
+        unit = ActivationUnit(function="identity", output_bits=8)
+        np.testing.assert_array_equal(unit.apply(np.array([256, 512]), scale_shift=4), [16, 32])
+        with pytest.raises(ValueError):
+            unit.apply(np.array([1]), scale_shift=-1)
+
+    def test_unsigned_requantization(self):
+        unit = ActivationUnit(function="relu", output_bits=4, signed=False)
+        out = unit.apply(np.array([-3, 20]))
+        np.testing.assert_array_equal(out, [0, 15])
+
+    def test_operations_count(self):
+        unit = ActivationUnit()
+        assert unit.operations_for(128) == 128
+        with pytest.raises(ValueError):
+            unit.operations_for(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationUnit(function="gelu")
+        with pytest.raises(ValueError):
+            ActivationUnit(output_bits=3)

@@ -1,0 +1,73 @@
+"""Tests for scratchpad-buffer and DRAM-channel accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.memory import DramChannel, ScratchpadBuffer
+
+
+class TestScratchpadBuffer:
+    def test_capacity_and_fit(self):
+        buffer = ScratchpadBuffer(name="ibuf", capacity_kb=32.0)
+        assert buffer.capacity_bits == 32 * 1024 * 8
+        assert buffer.fits(buffer.capacity_bits)
+        assert not buffer.fits(buffer.capacity_bits + 1)
+
+    def test_access_count_rounds_up_to_access_width(self):
+        buffer = ScratchpadBuffer(name="wbuf", capacity_kb=1.0, access_bits=32)
+        assert buffer.accesses_for_bits(0) == 0
+        assert buffer.accesses_for_bits(1) == 1
+        assert buffer.accesses_for_bits(32) == 1
+        assert buffer.accesses_for_bits(33) == 2
+
+    def test_read_write_counters(self):
+        buffer = ScratchpadBuffer(name="obuf", capacity_kb=1.0)
+        assert buffer.record_reads(64) == 2
+        assert buffer.record_writes(16) == 1
+        assert buffer.read_accesses == 2
+        assert buffer.write_accesses == 1
+        assert buffer.total_accesses == 3
+        buffer.reset()
+        assert buffer.total_accesses == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScratchpadBuffer(name="", capacity_kb=1.0)
+        with pytest.raises(ValueError):
+            ScratchpadBuffer(name="x", capacity_kb=0)
+        with pytest.raises(ValueError):
+            ScratchpadBuffer(name="x", capacity_kb=1.0, access_bits=0)
+        buffer = ScratchpadBuffer(name="x", capacity_kb=1.0)
+        with pytest.raises(ValueError):
+            buffer.accesses_for_bits(-1)
+        with pytest.raises(ValueError):
+            buffer.fits(-1)
+
+
+class TestDramChannel:
+    def test_cycles_round_up_to_bandwidth(self):
+        channel = DramChannel(bandwidth_bits_per_cycle=128)
+        assert channel.cycles_for_bits(0) == 0
+        assert channel.cycles_for_bits(128) == 1
+        assert channel.cycles_for_bits(129) == 2
+
+    def test_traffic_accumulation(self):
+        channel = DramChannel(bandwidth_bits_per_cycle=64)
+        channel.record_read(640)
+        channel.record_write(64)
+        assert channel.total_bits == 704
+        assert channel.total_cycles == 11
+        channel.reset()
+        assert channel.total_bits == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramChannel(bandwidth_bits_per_cycle=0)
+        channel = DramChannel(bandwidth_bits_per_cycle=8)
+        with pytest.raises(ValueError):
+            channel.record_read(-1)
+        with pytest.raises(ValueError):
+            channel.record_write(-1)
+        with pytest.raises(ValueError):
+            channel.cycles_for_bits(-5)
