@@ -23,16 +23,28 @@ Public entry points
     Quantized layer/network IR and the eight benchmark model definitions.
 ``repro.baselines``
     Eyeriss, Stripes, temporal-design and GPU comparison models.
+``repro.session``
+    Unified evaluation session: fingerprinted workloads, a result cache
+    (in-memory + optional on-disk JSON) and a process-pool parallel
+    ``run``/``run_many``/``sweep`` engine shared by every experiment.
 ``repro.harness``
-    One experiment runner per table/figure in the paper's evaluation.
+    One experiment runner per table/figure in the paper's evaluation,
+    all routed through a shared evaluation session.
 """
+
+from importlib.metadata import PackageNotFoundError, version as _distribution_version
 
 from repro.core.config import BitFusionConfig
 from repro.core.accelerator import BitFusionAccelerator
 from repro.dnn.network import Network
 from repro.sim.results import LayerResult, NetworkResult
 
-__version__ = "1.0.0"
+try:
+    # The single source of truth is the packaging metadata (pyproject.toml).
+    __version__ = _distribution_version("bitfusion-repro")
+except PackageNotFoundError:
+    # Source checkout driven via PYTHONPATH=src; keep in sync with pyproject.toml.
+    __version__ = "1.1.0"
 
 __all__ = [
     "BitFusionConfig",

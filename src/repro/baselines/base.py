@@ -80,14 +80,25 @@ def dram_traffic_for_workload(
 
 
 class AcceleratorModel(ABC):
-    """Common interface of every platform model in the reproduction."""
+    """Common interface of every platform model in the reproduction.
+
+    ``evaluate(network, batch_size)`` is the protocol the evaluation session
+    (:mod:`repro.session`) drives: every platform — Bit Fusion itself, the
+    baselines, and the temporal design — implements it, so the session can
+    cache and parallelize all of them uniformly.  ``run`` is a concrete
+    alias kept for the library's historical surface.
+    """
 
     #: Platform name used in result records and reports.
     name: str = "accelerator"
 
     @abstractmethod
-    def run(self, network: Network, batch_size: int = 16) -> NetworkResult:
+    def evaluate(self, network: Network, batch_size: int | None = None) -> NetworkResult:
         """Run a network at the given batch size and return its results."""
+
+    def run(self, network: Network, batch_size: int | None = None) -> NetworkResult:
+        """Alias of :meth:`evaluate` (the original entry-point name)."""
+        return self.evaluate(network, batch_size=batch_size)
 
     def describe(self) -> str:
         """One-line human-readable description of the platform."""

@@ -200,7 +200,7 @@ class EyerissModel(AcceleratorModel):
     # ------------------------------------------------------------------ #
     # Network execution
     # ------------------------------------------------------------------ #
-    def run(self, network: Network, batch_size: int | None = None) -> NetworkResult:
+    def evaluate(self, network: Network, batch_size: int | None = None) -> NetworkResult:
         batch = self.config.batch_size if batch_size is None else batch_size
         layers = []
         for layer in network:

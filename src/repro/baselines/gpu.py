@@ -202,7 +202,8 @@ class GpuModel(AcceleratorModel):
     # ------------------------------------------------------------------ #
     # Network execution
     # ------------------------------------------------------------------ #
-    def run(self, network: Network, batch_size: int = 16) -> NetworkResult:
+    def evaluate(self, network: Network, batch_size: int | None = None) -> NetworkResult:
+        batch_size = 16 if batch_size is None else batch_size
         if batch_size <= 0:
             raise ValueError(f"batch size must be positive, got {batch_size}")
         layers = tuple(self._run_layer(layer, batch_size) for layer in network)

@@ -72,6 +72,12 @@ class BitFusionAccelerator:
         program = self.compile(network, batch_size=batch_size)
         return self.simulator.run_program(program, batch_size=batch_size)
 
+    def evaluate(self, network: Network, batch_size: int | None = None) -> NetworkResult:
+        """Alias of :meth:`run`; the shared platform protocol the
+        evaluation session (:mod:`repro.session`) drives for Bit Fusion and
+        every baseline alike."""
+        return self.run(network, batch_size=batch_size)
+
     def run_program(self, program: Program, batch_size: int | None = None) -> NetworkResult:
         """Simulate an already-compiled program."""
         return self.simulator.run_program(program, batch_size=batch_size)

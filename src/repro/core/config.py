@@ -21,7 +21,9 @@ paper configurations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.fingerprint import fingerprint_payload
 
 __all__ = ["TechnologyNode", "BitFusionConfig"]
 
@@ -235,6 +237,15 @@ class BitFusionConfig:
             technology=TechnologyNode.nm16(),
             name="bitfusion-16nm",
         )
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of every configuration parameter.
+
+        Two configurations with equal field values produce the same digest in
+        any process on any platform, which is what lets the evaluation
+        session key its result cache on (config, network, batch) workloads.
+        """
+        return fingerprint_payload({"type": type(self).__name__, **asdict(self)})
 
     def with_bandwidth(self, bits_per_cycle: int) -> "BitFusionConfig":
         """Copy of this configuration with a different off-chip bandwidth."""

@@ -47,6 +47,7 @@ __all__ = [
     "BenchmarkInfo",
     "BENCHMARKS",
     "benchmark_names",
+    "canonical_name",
     "load",
     "load_baseline_variant",
     "all_benchmarks",
@@ -175,6 +176,16 @@ def _lookup(name: str) -> BenchmarkInfo:
     raise KeyError(
         f"unknown benchmark {name!r}; available: {', '.join(benchmark_names())}"
     )
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a benchmark name or alias to its canonical paper name.
+
+    Accepts the same case/punctuation-insensitive aliases as :func:`load`
+    (e.g. ``"alexnet"`` or ``"cifar10"``) and raises ``KeyError`` for
+    unknown names.
+    """
+    return _lookup(name).name
 
 
 def load(name: str) -> Network:

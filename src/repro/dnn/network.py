@@ -10,10 +10,11 @@ operand-bitwidth combinations.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, Iterator
 
 from repro.dnn.layers import Layer
+from repro.fingerprint import fingerprint_payload
 
 __all__ = ["Network", "BitwidthProfile"]
 
@@ -145,6 +146,23 @@ class Network:
         if total_weights:
             weight_hist = {k: v / total_weights for k, v in weight_hist.items()}
         return BitwidthProfile(mac_fraction=mac_hist, weight_fraction=weight_hist)
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of the network structure.
+
+        Hashes the network name plus every layer's concrete type and field
+        values, so two structurally identical networks fingerprint the same
+        in any process while any shape or bitwidth change invalidates cached
+        simulation results keyed on the digest.
+        """
+        return fingerprint_payload(
+            {
+                "name": self.name,
+                "layers": [
+                    {"type": type(layer).__name__, **asdict(layer)} for layer in self
+                ],
+            }
+        )
 
     def max_input_bits(self) -> int:
         return max((layer.input_bits for layer in self.compute_layers()), default=8)

@@ -1,0 +1,28 @@
+"""Shared content-fingerprint helper.
+
+Configs, networks and workloads all fingerprint themselves the same way:
+sha256 over a canonical (sorted-keys) JSON dump of a payload dictionary.
+Keeping the incantation in one place guarantees the three call sites can
+never drift apart — a silent divergence would fragment or invalidate the
+evaluation session's on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["fingerprint_payload"]
+
+
+def fingerprint_payload(payload: dict[str, Any]) -> str:
+    """Deterministic sha256 hex digest of a JSON-representable payload.
+
+    ``default=str`` covers enum/Path-like leaves; ``sort_keys`` makes the
+    digest independent of dict insertion order, so equal payloads hash
+    identically in any process on any platform.
+    """
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()

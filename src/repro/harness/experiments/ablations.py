@@ -16,12 +16,10 @@ ablations quantify each one on the reproduction's simulator:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from repro.core.accelerator import BitFusionAccelerator
-from repro.core.config import BitFusionConfig
 from repro.dnn import models
-from repro.dnn.network import Network
+from repro.session import EvaluationSession, Workload, resolve_session
 from repro.sim.stats import geometric_mean
 
 __all__ = ["AblationRow", "run", "format_table"]
@@ -53,36 +51,35 @@ class AblationRow:
         }
 
 
-def _fixed_bitwidth_network(network: Network, bits: int = 8) -> Network:
-    """Copy of a network with every layer forced to a fixed operand bitwidth."""
-    fixed = Network(f"{network.name}-{bits}bit")
-    for layer in network:
-        fixed.add(
-            replace(layer, input_bits=bits, weight_bits=bits, output_bits=bits)
-        )
-    return fixed
-
-
 def run(
     batch_size: int = 16,
     benchmarks: tuple[str, ...] | None = None,
     fixed_bits: int = 8,
+    session: EvaluationSession | None = None,
 ) -> list[AblationRow]:
-    """Measure the slowdown and energy increase from disabling each mechanism."""
-    names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
-    config = BitFusionConfig.eyeriss_matched(batch_size=batch_size)
+    """Measure the slowdown and energy increase from disabling each mechanism.
 
-    flexible = BitFusionAccelerator(config)
-    no_ordering = BitFusionAccelerator(config, enable_loop_ordering=False)
-    no_fusion = BitFusionAccelerator(config, enable_layer_fusion=False)
+    Each ablation is a declarative workload variation — compiler flags or a
+    fixed-bitwidth network transform — so the whole experiment is one
+    deduplicated batch, and the flexible baseline runs are shared with every
+    other experiment that simulates the default configuration.
+    """
+    names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
+    session = resolve_session(session)
+    per_name = [
+        (
+            Workload.bitfusion(name, batch_size=batch_size),
+            Workload.bitfusion(name, batch_size=batch_size, enable_loop_ordering=False),
+            Workload.bitfusion(name, batch_size=batch_size, enable_layer_fusion=False),
+            Workload.bitfusion(name, batch_size=batch_size, fixed_bits=fixed_bits),
+        )
+        for name in names
+    ]
+    results = session.run_many([w for group in per_name for w in group])
 
     rows: list[AblationRow] = []
-    for name in names:
-        network = models.load(name)
-        base = flexible.run(network, batch_size=batch_size)
-        without_ordering = no_ordering.run(network, batch_size=batch_size)
-        without_fusion = no_fusion.run(network, batch_size=batch_size)
-        fixed = flexible.run(_fixed_bitwidth_network(network, fixed_bits), batch_size=batch_size)
+    for index, name in enumerate(names):
+        base, without_ordering, without_fusion, fixed = results[4 * index : 4 * index + 4]
 
         rows.append(
             AblationRow(

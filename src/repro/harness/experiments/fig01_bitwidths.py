@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dnn import models
+from repro.session import EvaluationSession
 
 __all__ = ["BitwidthRow", "run", "format_table"]
 
@@ -53,8 +54,17 @@ class BitwidthRow:
         }
 
 
-def run(benchmarks: tuple[str, ...] | None = None) -> list[BitwidthRow]:
-    """Compute the Figure 1 bitwidth profiles for the selected benchmarks."""
+def run(
+    benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
+) -> list[BitwidthRow]:
+    """Compute the Figure 1 bitwidth profiles for the selected benchmarks.
+
+    ``session`` is accepted for harness uniformity; this experiment derives
+    everything from the network structures and performs no simulation, so
+    there is nothing for the session to cache.
+    """
+    del session
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
     rows: list[BitwidthRow] = []
     for name in names:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.baselines.temporal import TemporalDesignComparison, TemporalDesignModel
 from repro.harness import paper_data
+from repro.session import EvaluationSession
 
 __all__ = ["FusionUnitRow", "run", "run_throughput_advantage", "format_table"]
 
@@ -38,8 +39,13 @@ class FusionUnitRow:
         }
 
 
-def run() -> list[FusionUnitRow]:
-    """Build the Figure 10 area and power rows."""
+def run(session: EvaluationSession | None = None) -> list[FusionUnitRow]:
+    """Build the Figure 10 area and power rows.
+
+    ``session`` is accepted for harness uniformity; the rows derive from
+    published synthesis constants, so no simulation is cached.
+    """
+    del session
     comparison = TemporalDesignComparison()
     rows: list[FusionUnitRow] = []
     for entry in comparison.area_rows():

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.accelerator import BitFusionAccelerator
 from repro.core.config import BitFusionConfig
-from repro.baselines.eyeriss import EyerissConfig, EyerissModel
 from repro.dnn import models
 from repro.harness import paper_data
+from repro.session import EvaluationSession, Workload, resolve_session
 from repro.sim.results import NetworkResult
 from repro.sim.stats import geometric_mean
 
@@ -62,18 +61,19 @@ def run(
     batch_size: int = 16,
     benchmarks: tuple[str, ...] | None = None,
     config: BitFusionConfig | None = None,
+    session: EvaluationSession | None = None,
 ) -> ComparisonSummary:
     """Run every benchmark on Bit Fusion and Eyeriss and compare."""
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
-    bitfusion = BitFusionAccelerator(
-        config if config is not None else BitFusionConfig.eyeriss_matched(batch_size=batch_size)
-    )
-    eyeriss = EyerissModel(EyerissConfig(batch_size=batch_size))
+    session = resolve_session(session)
+    workloads = [
+        Workload.bitfusion(name, batch_size=batch_size, config=config) for name in names
+    ] + [Workload.eyeriss(name, batch_size=batch_size) for name in names]
+    results = session.run_many(workloads)
+    bf_results, ey_results = results[: len(names)], results[len(names) :]
 
     rows: list[EyerissComparisonRow] = []
-    for name in names:
-        bf_result = bitfusion.run(models.load(name), batch_size=batch_size)
-        ey_result = eyeriss.run(models.load_baseline_variant(name), batch_size=batch_size)
+    for name, bf_result, ey_result in zip(names, bf_results, ey_results):
         rows.append(
             EyerissComparisonRow(
                 benchmark=name,
@@ -96,17 +96,22 @@ def run(
     )
 
 
-def run_alexnet_per_layer(batch_size: int = 16) -> list[dict[str, object]]:
+def run_alexnet_per_layer(
+    batch_size: int = 16, session: EvaluationSession | None = None
+) -> list[dict[str, object]]:
     """Per-layer-group AlexNet improvement over Eyeriss (Figure 13 aux data).
 
     Layers are grouped the way the paper's embedded table groups them: the
     8-bit convolution (conv1), the 4-bit/1-bit convolutions, the 4-bit/1-bit
     fully-connected layers, and the 8-bit classifier.
     """
-    bitfusion = BitFusionAccelerator(BitFusionConfig.eyeriss_matched(batch_size=batch_size))
-    eyeriss = EyerissModel(EyerissConfig(batch_size=batch_size))
-    bf_result = bitfusion.run(models.load("AlexNet"), batch_size=batch_size)
-    ey_result = eyeriss.run(models.load_baseline_variant("AlexNet"), batch_size=batch_size)
+    session = resolve_session(session)
+    bf_result, ey_result = session.run_many(
+        [
+            Workload.bitfusion("AlexNet", batch_size=batch_size),
+            Workload.eyeriss("AlexNet", batch_size=batch_size),
+        ]
+    )
 
     def _group(result: NetworkResult, wide: bool) -> dict[str, tuple[float, float]]:
         groups: dict[str, tuple[float, float]] = {}

@@ -13,11 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.accelerator import BitFusionAccelerator
-from repro.core.config import BitFusionConfig
-from repro.baselines.eyeriss import EyerissConfig, EyerissModel
 from repro.dnn import models
 from repro.harness import paper_data
+from repro.session import EvaluationSession, Workload, resolve_session
 
 __all__ = ["BreakdownRow", "run", "format_table"]
 
@@ -53,18 +51,24 @@ class BreakdownRow:
         return self.buffers + self.register_file + self.dram
 
 
-def run(batch_size: int = 16, benchmarks: tuple[str, ...] | None = None) -> list[BreakdownRow]:
+def run(
+    batch_size: int = 16,
+    benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
+) -> list[BreakdownRow]:
     """Compute the per-component energy fractions for both accelerators."""
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
-    bitfusion = BitFusionAccelerator(BitFusionConfig.eyeriss_matched(batch_size=batch_size))
-    eyeriss = EyerissModel(EyerissConfig(batch_size=batch_size))
+    session = resolve_session(session)
+    results = session.run_many(
+        [Workload.bitfusion(name, batch_size=batch_size) for name in names]
+        + [Workload.eyeriss(name, batch_size=batch_size) for name in names]
+    )
+    bf_results, ey_results = results[: len(names)], results[len(names) :]
 
     rows: list[BreakdownRow] = []
-    for name in names:
-        bf_fraction = bitfusion.run(models.load(name), batch_size=batch_size).energy.fractions()
-        ey_fraction = eyeriss.run(
-            models.load_baseline_variant(name), batch_size=batch_size
-        ).energy.fractions()
+    for name, bf_result, ey_result in zip(names, bf_results, ey_results):
+        bf_fraction = bf_result.energy.fractions()
+        ey_fraction = ey_result.energy.fractions()
         paper_bf = paper_data.FIG14_BITFUSION_FRACTIONS.get(name)
         paper_ey = paper_data.FIG14_EYERISS_FRACTIONS.get(name)
         rows.append(

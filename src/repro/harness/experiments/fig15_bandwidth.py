@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.accelerator import BitFusionAccelerator
-from repro.core.config import BitFusionConfig
 from repro.dnn import models
 from repro.harness import paper_data
+from repro.session import EvaluationSession, resolve_session
 
 __all__ = ["BandwidthRow", "DEFAULT_BANDWIDTHS", "run", "format_table"]
 
@@ -44,24 +43,29 @@ def run(
     batch_size: int = 16,
     bandwidths: tuple[int, ...] = DEFAULT_BANDWIDTHS,
     benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
 ) -> list[BandwidthRow]:
-    """Sweep the off-chip bandwidth and normalize to the 128 bits/cycle default."""
+    """Sweep the off-chip bandwidth and normalize to the 128 bits/cycle default.
+
+    The scan itself is one declarative :meth:`EvaluationSession.sweep` call;
+    the session deduplicates the 128 bits/cycle points against any other
+    experiment that already simulated the default configuration.
+    """
     if REFERENCE_BANDWIDTH not in bandwidths:
         raise ValueError(
             f"the sweep must include the reference bandwidth {REFERENCE_BANDWIDTH}"
         )
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
+    sweep = resolve_session(session).sweep(
+        names, batch_sizes=(batch_size,), bandwidths=bandwidths
+    )
 
     rows: list[BandwidthRow] = []
     for name in names:
-        network = models.load(name)
-        latency_by_bandwidth: dict[int, float] = {}
-        for bandwidth in bandwidths:
-            config = BitFusionConfig.eyeriss_matched(
-                bandwidth_bits_per_cycle=bandwidth, batch_size=batch_size
-            )
-            result = BitFusionAccelerator(config).run(network, batch_size=batch_size)
-            latency_by_bandwidth[bandwidth] = result.latency_per_inference_s
+        latency_by_bandwidth = {
+            bandwidth: sweep.latency(network=name, bandwidth=bandwidth)
+            for bandwidth in bandwidths
+        }
         reference = latency_by_bandwidth[REFERENCE_BANDWIDTH]
         rows.append(
             BandwidthRow(

@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.accelerator import BitFusionAccelerator
-from repro.core.config import BitFusionConfig
 from repro.dnn import models
 from repro.harness import paper_data
+from repro.session import EvaluationSession, resolve_session
 
 __all__ = ["BatchRow", "DEFAULT_BATCH_SIZES", "run", "format_table"]
 
@@ -41,20 +40,24 @@ class BatchRow:
 def run(
     batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
     benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
 ) -> list[BatchRow]:
-    """Sweep the batch size and normalize per-inference latency to batch 1."""
+    """Sweep the batch size and normalize per-inference latency to batch 1.
+
+    One declarative :meth:`EvaluationSession.sweep` call over the batch
+    axis; the batch-16 points dedupe against the other experiments' default
+    workloads through the shared session cache.
+    """
     if 1 not in batch_sizes:
         raise ValueError("the sweep must include batch size 1 (the normalization baseline)")
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
+    sweep = resolve_session(session).sweep(names, batch_sizes=batch_sizes)
 
     rows: list[BatchRow] = []
     for name in names:
-        network = models.load(name)
-        latency_by_batch: dict[int, float] = {}
-        for batch in batch_sizes:
-            config = BitFusionConfig.eyeriss_matched(batch_size=batch)
-            result = BitFusionAccelerator(config).run(network, batch_size=batch)
-            latency_by_batch[batch] = result.latency_per_inference_s
+        latency_by_batch = {
+            batch: sweep.latency(network=name, batch_size=batch) for batch in batch_sizes
+        }
         reference = latency_by_batch[1]
         rows.append(
             BatchRow(

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.accelerator import BitFusionAccelerator
 from repro.core.config import BitFusionConfig
-from repro.baselines.gpu import GpuModel, GpuPrecision, TEGRA_X2, TITAN_XP
+from repro.baselines.gpu import GpuPrecision, TEGRA_X2, TITAN_XP
 from repro.dnn import models
 from repro.harness import paper_data
+from repro.session import EvaluationSession, Workload, resolve_session
 from repro.sim.stats import geometric_mean
 
 __all__ = ["GpuComparisonRow", "GpuComparisonSummary", "run", "format_table"]
@@ -57,22 +57,32 @@ class GpuComparisonSummary:
     geomean_bitfusion: float
 
 
-def run(batch_size: int = 16, benchmarks: tuple[str, ...] | None = None) -> GpuComparisonSummary:
+def run(
+    batch_size: int = 16,
+    benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
+) -> GpuComparisonSummary:
     """Run the GPU comparison at the 16 nm Bit Fusion scale point."""
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
-    bitfusion = BitFusionAccelerator(BitFusionConfig.gpu_scaled_16nm(batch_size=batch_size))
-    tx2 = GpuModel(TEGRA_X2, GpuPrecision.FP32)
-    titanx_fp32 = GpuModel(TITAN_XP, GpuPrecision.FP32)
-    titanx_int8 = GpuModel(TITAN_XP, GpuPrecision.INT8)
+    session = resolve_session(session)
+    per_name = [
+        (
+            Workload.gpu(name, TEGRA_X2, GpuPrecision.FP32, batch_size=batch_size),
+            Workload.gpu(name, TITAN_XP, GpuPrecision.FP32, batch_size=batch_size),
+            Workload.gpu(name, TITAN_XP, GpuPrecision.INT8, batch_size=batch_size),
+            Workload.bitfusion(
+                name,
+                batch_size=batch_size,
+                config=BitFusionConfig.gpu_scaled_16nm(batch_size=batch_size),
+            ),
+        )
+        for name in names
+    ]
+    results = session.run_many([w for group in per_name for w in group])
 
     rows: list[GpuComparisonRow] = []
-    for name in names:
-        gpu_network = models.load_baseline_variant(name)
-        bf_network = models.load(name)
-        tx2_result = tx2.run(gpu_network, batch_size=batch_size)
-        fp32_result = titanx_fp32.run(gpu_network, batch_size=batch_size)
-        int8_result = titanx_int8.run(gpu_network, batch_size=batch_size)
-        bf_result = bitfusion.run(bf_network, batch_size=batch_size)
+    for index, name in enumerate(names):
+        tx2_result, fp32_result, int8_result, bf_result = results[4 * index : 4 * index + 4]
         paper = paper_data.FIG17_SPEEDUP_OVER_TX2.get(name, {})
         rows.append(
             GpuComparisonRow(

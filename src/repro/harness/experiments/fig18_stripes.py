@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.accelerator import BitFusionAccelerator
 from repro.core.config import BitFusionConfig
-from repro.baselines.stripes import StripesConfig, StripesModel
 from repro.dnn import models
 from repro.harness import paper_data
+from repro.session import EvaluationSession, Workload, resolve_session
 from repro.sim.stats import geometric_mean
 
 __all__ = ["StripesComparisonRow", "StripesComparisonSummary", "run", "format_table"]
@@ -51,17 +50,26 @@ class StripesComparisonSummary:
     paper_geomean_energy_reduction: float
 
 
-def run(batch_size: int = 16, benchmarks: tuple[str, ...] | None = None) -> StripesComparisonSummary:
+def run(
+    batch_size: int = 16,
+    benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
+) -> StripesComparisonSummary:
     """Run every benchmark on the Stripes-matched Bit Fusion and on Stripes."""
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
-    bitfusion = BitFusionAccelerator(BitFusionConfig.stripes_matched(batch_size=batch_size))
-    stripes = StripesModel(StripesConfig(batch_size=batch_size))
+    session = resolve_session(session)
+    stripes_matched = BitFusionConfig.stripes_matched(batch_size=batch_size)
+    results = session.run_many(
+        [
+            Workload.bitfusion(name, batch_size=batch_size, config=stripes_matched)
+            for name in names
+        ]
+        + [Workload.stripes(name, batch_size=batch_size) for name in names]
+    )
+    bf_results, stripes_results = results[: len(names)], results[len(names) :]
 
     rows: list[StripesComparisonRow] = []
-    for name in names:
-        network = models.load(name)
-        bf_result = bitfusion.run(network, batch_size=batch_size)
-        stripes_result = stripes.run(network, batch_size=batch_size)
+    for name, bf_result, stripes_result in zip(names, bf_results, stripes_results):
         rows.append(
             StripesComparisonRow(
                 benchmark=name,

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.core.config import BitFusionConfig
 from repro.dnn import models
 from repro.harness import paper_data
-from repro.isa.compiler import FusionCompiler
+from repro.session import EvaluationSession, Workload, resolve_session
 
 __all__ = ["IsaStatsRow", "run", "format_table"]
 
@@ -47,25 +47,31 @@ def run(
     batch_size: int = 16,
     benchmarks: tuple[str, ...] | None = None,
     config: BitFusionConfig | None = None,
+    session: EvaluationSession | None = None,
 ) -> list[IsaStatsRow]:
-    """Compile every benchmark and collect per-block instruction statistics."""
+    """Compile every benchmark and collect per-block instruction statistics.
+
+    Compilation goes through the session's :meth:`~repro.session.session.
+    EvaluationSession.compile_stats`, so repeated report runs against a
+    persistent cache directory skip recompilation entirely.
+    """
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
-    compiler = FusionCompiler(
-        config if config is not None else BitFusionConfig.eyeriss_matched(batch_size=batch_size)
-    )
+    session = resolve_session(session)
     rows: list[IsaStatsRow] = []
     for name in names:
-        program = compiler.compile(models.load(name), batch_size=batch_size)
-        counts = [len(compiled.block) for compiled in program]
+        stats = session.compile_stats(
+            Workload.bitfusion(name, batch_size=batch_size, config=config)
+        )
+        counts = stats.block_instruction_counts
         rows.append(
             IsaStatsRow(
                 benchmark=name,
-                blocks=len(program),
+                blocks=stats.blocks,
                 min_instructions=min(counts),
                 max_instructions=max(counts),
                 mean_instructions=sum(counts) / len(counts),
-                total_instructions=program.total_instructions(),
-                binary_bytes=program.total_binary_bytes(),
+                total_instructions=stats.total_instructions,
+                binary_bytes=stats.binary_bytes,
             )
         )
     return rows

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.dnn import models
 from repro.harness import paper_data
+from repro.session import EvaluationSession
 
 __all__ = ["BenchmarkRow", "run", "format_table"]
 
@@ -43,8 +44,16 @@ class BenchmarkRow:
         }
 
 
-def run(benchmarks: tuple[str, ...] | None = None) -> list[BenchmarkRow]:
-    """Build the Table II rows from the model zoo."""
+def run(
+    benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
+) -> list[BenchmarkRow]:
+    """Build the Table II rows from the model zoo.
+
+    ``session`` is accepted for harness uniformity; the table is pure
+    network statistics, so no simulation is cached.
+    """
+    del session
     names = benchmarks if benchmarks is not None else tuple(models.benchmark_names())
     rows: list[BenchmarkRow] = []
     for name in names:

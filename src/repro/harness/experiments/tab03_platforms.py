@@ -15,6 +15,7 @@ from repro.baselines.eyeriss import EyerissConfig
 from repro.baselines.gpu import TEGRA_X2, TITAN_XP
 from repro.baselines.stripes import StripesConfig
 from repro.core.config import BitFusionConfig
+from repro.session import EvaluationSession
 
 __all__ = ["PlatformRow", "run", "format_table"]
 
@@ -41,8 +42,13 @@ class PlatformRow:
         }
 
 
-def run() -> list[PlatformRow]:
-    """Assemble the Table III platform rows from the configuration objects."""
+def run(session: EvaluationSession | None = None) -> list[PlatformRow]:
+    """Assemble the Table III platform rows from the configuration objects.
+
+    ``session`` is accepted for harness uniformity; the table reads static
+    configuration objects, so no simulation is cached.
+    """
+    del session
     eyeriss = EyerissConfig()
     stripes = StripesConfig()
     bf_eyeriss = BitFusionConfig.eyeriss_matched()

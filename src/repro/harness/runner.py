@@ -6,6 +6,16 @@ tables, each annotated with the paper's published numbers where available.
 The benchmark suite under ``benchmarks/`` exercises the same runners through
 ``pytest-benchmark``; this module exists for users who want a single
 command-line entry point and a saveable report.
+
+Every report is backed by one :class:`repro.session.EvaluationSession` — the
+shared, cached workload engine under ``src/repro/session/``.  Experiments
+declare (platform config, network, batch, compiler-flags) workloads and the
+session deduplicates them by content fingerprint, so a full report simulates
+each unique workload exactly once no matter how many figures need it, and
+finishes with a cache-statistics section.  ``--jobs N`` fans uncached
+workloads out over a process pool (results are ordered deterministically, so
+parallel reports are byte-identical to serial ones) and ``--cache-dir PATH``
+persists results as JSON so later invocations skip simulation entirely.
 """
 
 from __future__ import annotations
@@ -16,6 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import __version__
+from repro.dnn import models
 from repro.harness.experiments import (
     ablations,
     fig01_bitwidths,
@@ -31,6 +43,7 @@ from repro.harness.experiments import (
     tab03_platforms,
 )
 from repro.harness.reporting import format_table
+from repro.session import EvaluationSession, resolve_session, use_session
 
 __all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiments", "build_report", "main"]
 
@@ -130,8 +143,14 @@ _EXPERIMENTS_BY_KEY = {spec.key: spec for spec in EXPERIMENTS}
 def run_experiments(
     keys: list[str] | None = None,
     benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
 ) -> list[tuple[ExperimentSpec, str, float]]:
-    """Run the selected experiments; returns (spec, rendered table, seconds) tuples."""
+    """Run the selected experiments; returns (spec, rendered table, seconds) tuples.
+
+    All experiments run against one shared evaluation session (the given
+    one, or the process default), so workloads appearing in several figures
+    are simulated only once.
+    """
     if keys:
         unknown = [key for key in keys if key not in _EXPERIMENTS_BY_KEY]
         if unknown:
@@ -143,27 +162,58 @@ def run_experiments(
         specs = list(EXPERIMENTS)
 
     results: list[tuple[ExperimentSpec, str, float]] = []
-    for spec in specs:
-        start = time.perf_counter()
-        rendered = spec.render(benchmarks)
-        results.append((spec, rendered, time.perf_counter() - start))
+    with use_session(resolve_session(session)):
+        for spec in specs:
+            start = time.perf_counter()
+            rendered = spec.render(benchmarks)
+            results.append((spec, rendered, time.perf_counter() - start))
     return results
 
 
 def build_report(
     keys: list[str] | None = None,
     benchmarks: tuple[str, ...] | None = None,
+    session: EvaluationSession | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> str:
-    """Run the selected experiments and assemble a markdown report."""
-    sections = ["# Bit Fusion reproduction — experiment report", ""]
-    for spec, rendered, elapsed in run_experiments(keys, benchmarks):
-        sections.append(f"## {spec.description}")
-        sections.append("")
-        sections.append("```")
-        sections.append(rendered)
-        sections.append("```")
-        sections.append(f"_(generated in {elapsed:.2f} s)_")
-        sections.append("")
+    """Run the selected experiments and assemble a markdown report.
+
+    One :class:`EvaluationSession` backs the whole report (built from
+    ``jobs``/``cache_dir`` unless an explicit ``session`` is given); the
+    report ends with the session's cache statistics.
+    """
+    owns_session = session is None
+    if session is None:
+        session = EvaluationSession(jobs=jobs, cache_dir=cache_dir)
+    sections = [
+        "# Bit Fusion reproduction — experiment report",
+        "",
+        f"_repro {__version__}_",
+        "",
+    ]
+    try:
+        for spec, rendered, elapsed in run_experiments(keys, benchmarks, session=session):
+            sections.append(f"## {spec.description}")
+            sections.append("")
+            sections.append("```")
+            sections.append(rendered)
+            sections.append("```")
+            sections.append(f"_(generated in {elapsed:.2f} s)_")
+            sections.append("")
+    finally:
+        if owns_session:
+            session.close()
+    sections.append("## Evaluation session statistics")
+    sections.append("")
+    sections.append("```")
+    sections.append(session.stats.summary())
+    if session.cache.cache_dir is not None:
+        sections.append(f"persistent cache: {session.cache.cache_dir}")
+    if session.jobs > 1:
+        sections.append(f"worker processes: {session.jobs}")
+    sections.append("```")
+    sections.append("")
     return "\n".join(sections)
 
 
@@ -191,6 +241,19 @@ def main(argv: list[str] | None = None) -> int:
         help="write the markdown report to a file instead of stdout",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for uncached simulations (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persist simulation results as JSON under PATH and reuse them "
+        "across report invocations",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list the available experiments and exit",
@@ -202,8 +265,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{spec.key:10s} {spec.description}")
         return 0
 
-    benchmarks = tuple(args.benchmarks) if args.benchmarks else None
-    report = build_report(keys=args.experiments, benchmarks=benchmarks)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    benchmarks = None
+    if args.benchmarks:
+        try:
+            # Accept the same aliases as the model zoo ("alexnet", "cifar10")
+            # and hand every experiment the canonical paper names.
+            benchmarks = tuple(models.canonical_name(name) for name in args.benchmarks)
+        except KeyError as error:
+            parser.error(str(error).strip('"'))
+    report = build_report(
+        keys=args.experiments,
+        benchmarks=benchmarks,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report)

@@ -1,0 +1,50 @@
+"""Unified evaluation session: cached, parallel workload engine.
+
+This subsystem is the single entry point every experiment and baseline
+comparison routes through:
+
+* :class:`~repro.session.workload.Workload` — one (platform, network,
+  batch, compiler-flags) evaluation point with a stable content
+  fingerprint.
+* :class:`~repro.session.cache.ResultCache` — fingerprint-keyed result
+  store, in-memory with an optional on-disk JSON layer.
+* :class:`~repro.session.session.EvaluationSession` — ``run`` /
+  ``run_many`` (process-pool parallel) / declarative ``sweep`` execution
+  with cache-hit accounting.
+
+See ``python -m repro.harness --help`` for the report runner built on top
+(``--jobs`` and ``--cache-dir`` map directly onto a session).
+"""
+
+from repro.session.cache import CacheStats, ProgramStats, ResultCache
+from repro.session.engine import build_model, compile_workload, execute_workload
+from repro.session.session import (
+    EvaluationSession,
+    SweepPoint,
+    SweepResult,
+    get_default_session,
+    resolve_session,
+    set_default_session,
+    use_session,
+)
+from repro.session.workload import PLATFORMS, Workload, fixed_bitwidth_network, load_network
+
+__all__ = [
+    "CacheStats",
+    "EvaluationSession",
+    "PLATFORMS",
+    "ProgramStats",
+    "ResultCache",
+    "SweepPoint",
+    "SweepResult",
+    "Workload",
+    "build_model",
+    "compile_workload",
+    "execute_workload",
+    "fixed_bitwidth_network",
+    "get_default_session",
+    "load_network",
+    "resolve_session",
+    "set_default_session",
+    "use_session",
+]

@@ -1,0 +1,233 @@
+"""Result cache keyed by workload fingerprint (in-memory + optional disk).
+
+The cache stores two payload kinds: full :class:`~repro.sim.results.NetworkResult`
+records (one per simulated workload) and the lightweight
+:class:`ProgramStats` records the ISA experiment derives from compiled
+programs.  Both serialize losslessly to JSON — every field is an int, float
+or string, and Python's JSON round-trips floats exactly — so an entry read
+back from disk is bit-identical to the freshly computed result.
+
+On-disk layout: one ``<fingerprint>.json`` file per entry under the cache
+directory, carrying the payload kind, a human-readable workload description
+and the payload itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.energy.breakdown import EnergyBreakdown
+from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+
+__all__ = [
+    "CacheStats",
+    "ProgramStats",
+    "ResultCache",
+    "network_result_to_dict",
+    "network_result_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Instruction statistics of one compiled Fusion-ISA program."""
+
+    network_name: str
+    block_instruction_counts: tuple[int, ...]
+    total_instructions: int
+    binary_bytes: int
+
+    @property
+    def blocks(self) -> int:
+        return len(self.block_instruction_counts)
+
+
+@dataclass
+class CacheStats:
+    """Counters the session reports at the end of a run.
+
+    ``hits`` counts lookups satisfied from memory or disk, ``misses``
+    lookups that required fresh work; ``disk_hits`` is the subset of hits
+    that came from the on-disk store; ``unique_executions`` counts distinct
+    fingerprints executed this session — simulations plus compilations (the
+    acceptance criterion is that no fingerprint is ever executed twice).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    executions: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def unique_executions(self) -> int:
+        return len(self.executions)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def record_execution(self, key: str) -> None:
+        self.executions[key] = self.executions.get(key, 0) + 1
+
+    def max_executions_per_workload(self) -> int:
+        """1 when every unique workload was simulated exactly once."""
+        return max(self.executions.values(), default=0)
+
+    def summary(self) -> str:
+        return (
+            f"{self.lookups} workload lookups: {self.hits} cache hits "
+            f"({self.disk_hits} from disk), {self.misses} misses, "
+            f"{self.unique_executions} unique executions "
+            f"(simulations + compilations, hit rate {self.hit_rate:.0%})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# NetworkResult <-> JSON
+# ---------------------------------------------------------------------- #
+def network_result_to_dict(result: NetworkResult) -> dict[str, Any]:
+    """Serialize a NetworkResult to a JSON-compatible dictionary."""
+    return asdict(result)
+
+
+def network_result_from_dict(payload: dict[str, Any]) -> NetworkResult:
+    """Rebuild a NetworkResult from :func:`network_result_to_dict` output."""
+    layers = tuple(
+        LayerResult(
+            name=layer["name"],
+            macs=layer["macs"],
+            input_bits=layer["input_bits"],
+            weight_bits=layer["weight_bits"],
+            compute_cycles=layer["compute_cycles"],
+            memory_cycles=layer["memory_cycles"],
+            overhead_cycles=layer["overhead_cycles"],
+            traffic=MemoryTraffic(**layer["traffic"]),
+            energy=EnergyBreakdown(**layer["energy"]),
+            utilization=layer["utilization"],
+        )
+        for layer in payload["layers"]
+    )
+    return NetworkResult(
+        network_name=payload["network_name"],
+        platform=payload["platform"],
+        batch_size=payload["batch_size"],
+        frequency_mhz=payload["frequency_mhz"],
+        layers=layers,
+    )
+
+
+def _program_stats_to_dict(stats: ProgramStats) -> dict[str, Any]:
+    return {
+        "network_name": stats.network_name,
+        "block_instruction_counts": list(stats.block_instruction_counts),
+        "total_instructions": stats.total_instructions,
+        "binary_bytes": stats.binary_bytes,
+    }
+
+
+def _program_stats_from_dict(payload: dict[str, Any]) -> ProgramStats:
+    return ProgramStats(
+        network_name=payload["network_name"],
+        block_instruction_counts=tuple(payload["block_instruction_counts"]),
+        total_instructions=payload["total_instructions"],
+        binary_bytes=payload["binary_bytes"],
+    )
+
+
+_SERIALIZERS = {
+    "network_result": (network_result_to_dict, network_result_from_dict),
+    "program_stats": (_program_stats_to_dict, _program_stats_from_dict),
+}
+
+
+def _kind_of(value: Any) -> str:
+    if isinstance(value, NetworkResult):
+        return "network_result"
+    if isinstance(value, ProgramStats):
+        return "program_stats"
+    raise TypeError(f"cannot cache values of type {type(value).__name__}")
+
+
+class ResultCache:
+    """Fingerprint-keyed store of evaluation results.
+
+    Parameters
+    ----------
+    cache_dir:
+        When given, entries are also persisted as JSON files under this
+        directory and later sessions (or processes) can reuse them; when
+        ``None`` the cache is memory-only and lives for one session.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self._memory: dict[str, Any] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self._entry_path(key) is not None
+
+    def _entry_path(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.json"
+        return path if path.exists() else None
+
+    def get(self, key: str) -> Any | None:
+        """Fetch an entry, promoting disk entries into memory. None on miss."""
+        if key in self._memory:
+            return self._memory[key]
+        path = self._entry_path(key)
+        if path is None:
+            return None
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            _, deserialize = _SERIALIZERS[entry["kind"]]
+            value = deserialize(entry["payload"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # A corrupted or schema-stale entry is a miss, not a crash; the
+            # fresh simulation overwrites it on the next put().
+            return None
+        self._memory[key] = value
+        return value
+
+    def get_with_source(self, key: str) -> tuple[Any | None, str]:
+        """Like :meth:`get` but also reports ``"memory"``/``"disk"``/``"miss"``."""
+        if key in self._memory:
+            return self._memory[key], "memory"
+        value = self.get(key)
+        return value, ("disk" if value is not None else "miss")
+
+    def put(self, key: str, value: Any, description: dict[str, Any] | None = None) -> None:
+        """Store an entry in memory and, when configured, on disk."""
+        kind = _kind_of(value)
+        self._memory[key] = value
+        if self.cache_dir is not None:
+            serialize, _ = _SERIALIZERS[kind]
+            entry = {
+                "kind": kind,
+                "workload": description or {},
+                "payload": serialize(value),
+            }
+            path = self.cache_dir / f"{key}.json"
+            # Per-process temp name so concurrent runs sharing a cache dir
+            # never tear each other's writes; the final replace is atomic.
+            tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+            tmp.replace(path)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries, if any, survive)."""
+        self._memory.clear()

@@ -1,0 +1,74 @@
+"""Workload execution: build the platform model and run or compile it.
+
+These are module-level functions (not session methods) so a
+``ProcessPoolExecutor`` can pickle the workload, execute it in a worker
+process and ship the :class:`~repro.sim.results.NetworkResult` back.  All
+simulations are deterministic, so a result computed in a worker process is
+bit-identical to one computed inline.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import AcceleratorModel
+from repro.baselines.eyeriss import EyerissModel
+from repro.baselines.gpu import GpuModel, GpuPrecision
+from repro.baselines.stripes import StripesModel
+from repro.baselines.temporal import TemporalAcceleratorModel
+from repro.core.accelerator import BitFusionAccelerator
+from repro.isa.compiler import FusionCompiler
+from repro.session.cache import ProgramStats
+from repro.session.workload import Workload, load_network
+from repro.sim.results import NetworkResult
+
+__all__ = ["build_model", "execute_workload", "compile_workload"]
+
+
+def build_model(workload: Workload) -> AcceleratorModel | BitFusionAccelerator:
+    """Instantiate the platform model a workload targets."""
+    # Workload.__post_init__ guarantees config is resolved (or None only for
+    # the fixed-configuration temporal platform), so what the fingerprint
+    # hashed is exactly what runs here.
+    if workload.platform == "bitfusion":
+        return BitFusionAccelerator(
+            workload.config,
+            enable_loop_ordering=workload.enable_loop_ordering,
+            enable_layer_fusion=workload.enable_layer_fusion,
+        )
+    if workload.platform == "eyeriss":
+        return EyerissModel(workload.config)
+    if workload.platform == "stripes":
+        return StripesModel(workload.config)
+    if workload.platform == "gpu":
+        return GpuModel(workload.config, GpuPrecision(workload.gpu_precision))
+    if workload.platform == "temporal":
+        return TemporalAcceleratorModel()
+    raise ValueError(f"unknown platform {workload.platform!r}")
+
+
+def execute_workload(workload: Workload) -> NetworkResult:
+    """Run one workload end to end (network load, model build, simulate)."""
+    network = load_network(workload)
+    model = build_model(workload)
+    return model.evaluate(network, batch_size=workload.batch_size)
+
+
+def compile_workload(workload: Workload) -> ProgramStats:
+    """Compile a Bit Fusion workload and distill its program statistics."""
+    if workload.platform != "bitfusion":
+        raise ValueError(
+            f"only bitfusion workloads compile to Fusion-ISA programs, got {workload.platform!r}"
+        )
+    compiler = FusionCompiler(
+        workload.config,
+        enable_loop_ordering=workload.enable_loop_ordering,
+        enable_layer_fusion=workload.enable_layer_fusion,
+    )
+    network = load_network(workload)
+    program = compiler.compile(network, batch_size=workload.batch_size)
+    counts = tuple(len(compiled.block) for compiled in program)
+    return ProgramStats(
+        network_name=network.name,
+        block_instruction_counts=counts,
+        total_instructions=program.total_instructions(),
+        binary_bytes=program.total_binary_bytes(),
+    )

@@ -1,0 +1,337 @@
+"""EvaluationSession: the shared, cached, parallel workload engine.
+
+One session backs one report (or one interactive study).  Every experiment
+routes its simulations through :meth:`EvaluationSession.run` /
+:meth:`~EvaluationSession.run_many`, so a full-report invocation simulates
+each unique (platform config, network, batch, compiler flags) point exactly
+once regardless of how many figures need it, and batches of independent
+workloads can fan out over a process pool.
+
+:meth:`EvaluationSession.sweep` is the declarative face of the engine:
+bandwidth, batch-size and benchmark scans (Figures 15/16 and any new
+scenario scan) are one call each instead of a hand-written experiment loop.
+
+A module-level *default session* lets experiment modules be called directly
+(as the pytest-benchmark harness does) while still sharing a cache; the
+report runner installs its own session for the duration of a report via
+:func:`use_session`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from itertools import product
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.config import BitFusionConfig
+from repro.session.cache import CacheStats, ProgramStats, ResultCache
+from repro.session.engine import compile_workload, execute_workload
+from repro.session.workload import Workload
+from repro.sim.results import NetworkResult
+
+__all__ = [
+    "EvaluationSession",
+    "SweepPoint",
+    "SweepResult",
+    "get_default_session",
+    "set_default_session",
+    "resolve_session",
+    "use_session",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (network, batch, bandwidth) point of a sweep and its result."""
+
+    network: str
+    batch_size: int
+    bandwidth: int | None
+    workload: Workload
+    result: NetworkResult
+
+
+class SweepResult:
+    """Results of a declarative sweep, addressable by axis values."""
+
+    def __init__(self, points: Iterable[SweepPoint]) -> None:
+        self.points = tuple(points)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def select(
+        self,
+        network: str | None = None,
+        batch_size: int | None = None,
+        bandwidth: int | None = None,
+    ) -> list[SweepPoint]:
+        """All points matching the given axis values (None matches any)."""
+        return [
+            point
+            for point in self.points
+            if (network is None or point.network == network)
+            and (batch_size is None or point.batch_size == batch_size)
+            and (bandwidth is None or point.bandwidth == bandwidth)
+        ]
+
+    def result(
+        self,
+        network: str | None = None,
+        batch_size: int | None = None,
+        bandwidth: int | None = None,
+    ) -> NetworkResult:
+        """The unique result at the given axis values; KeyError otherwise."""
+        matches = self.select(network=network, batch_size=batch_size, bandwidth=bandwidth)
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one sweep point for network={network!r} "
+                f"batch_size={batch_size!r} bandwidth={bandwidth!r}, found {len(matches)}"
+            )
+        return matches[0].result
+
+    def latency(self, **axes: object) -> float:
+        """Per-inference latency (seconds) of the unique matching point."""
+        return self.result(**axes).latency_per_inference_s  # type: ignore[arg-type]
+
+
+class EvaluationSession:
+    """Cached, optionally parallel executor of evaluation workloads.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for :meth:`run_many` / :meth:`sweep`.  1 (the
+        default) executes inline; higher values fan uncached workloads out
+        over a ``ProcessPoolExecutor``.  Results are ordered by the input
+        workload order either way, so parallel runs are byte-identical to
+        serial ones.
+    cache_dir:
+        Optional directory for the persistent JSON result store; ``None``
+        keeps the cache in memory only.
+    cache:
+        Pre-built :class:`ResultCache` to share between sessions (mutually
+        exclusive with ``cache_dir``).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.stats = CacheStats()
+        self._pool: ProcessPoolExecutor | None = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the cache is untouched)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "EvaluationSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Core execution
+    # ------------------------------------------------------------------ #
+    def run(self, workload: Workload) -> NetworkResult:
+        """Run one workload, serving it from the cache when possible."""
+        return self.run_many([workload])[0]
+
+    def run_many(self, workloads: Iterable[Workload]) -> list[NetworkResult]:
+        """Run a batch of workloads, in input order.
+
+        The batch is deduplicated by fingerprint and checked against the
+        cache; only genuinely new workloads are simulated (in parallel when
+        the session has more than one job).  Each unique workload is
+        simulated at most once per session lifetime.
+        """
+        ordered = list(workloads)
+        keys = [workload.fingerprint() for workload in ordered]
+        resolved: dict[str, NetworkResult] = {}
+        pending: dict[str, Workload] = {}
+        for key, workload in zip(keys, ordered):
+            if key in resolved or key in pending:
+                self.stats.hits += 1
+                continue
+            value, source = self.cache.get_with_source(key)
+            if value is not None:
+                self.stats.hits += 1
+                if source == "disk":
+                    self.stats.disk_hits += 1
+                resolved[key] = value
+            else:
+                self.stats.misses += 1
+                pending[key] = workload
+        if pending:
+            items = list(pending.items())
+            fresh = self._execute_batch([workload for _, workload in items])
+            for (key, workload), result in zip(items, fresh):
+                self.stats.record_execution(key)
+                self.cache.put(key, result, workload.describe())
+                resolved[key] = result
+        return [resolved[key] for key in keys]
+
+    def _execute_batch(self, workloads: list[Workload]) -> list[NetworkResult]:
+        if self.jobs > 1 and len(workloads) > 1:
+            # The pool is created once per session and reused across batches
+            # so workers pay the interpreter/import start-up cost only once.
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return list(self._pool.map(execute_workload, workloads))
+        return [execute_workload(workload) for workload in workloads]
+
+    def compile_stats(self, workload: Workload) -> ProgramStats:
+        """Compile a Bit Fusion workload (cached) and return program stats."""
+        # '-program' (not ':') keeps the key a valid filename on Windows,
+        # where the on-disk cache stores one '<key>.json' per entry.
+        key = f"{workload.fingerprint()}-program"
+        value, source = self.cache.get_with_source(key)
+        if value is not None:
+            self.stats.hits += 1
+            if source == "disk":
+                self.stats.disk_hits += 1
+            return value
+        self.stats.misses += 1
+        stats = compile_workload(workload)
+        self.stats.record_execution(key)
+        self.cache.put(key, stats, workload.describe())
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Declarative sweeps
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self,
+        networks: Iterable[str],
+        batch_sizes: Iterable[int] = (16,),
+        bandwidths: Iterable[int | None] = (None,),
+        platform: str = "bitfusion",
+        base_config: BitFusionConfig | None = None,
+        fixed_bits: int | None = None,
+        enable_loop_ordering: bool = True,
+        enable_layer_fusion: bool = True,
+    ) -> SweepResult:
+        """Run the cartesian product of networks x batch sizes x bandwidths.
+
+        The bandwidth axis applies to Bit Fusion only (it maps to
+        ``BitFusionConfig.with_bandwidth``); baseline platforms accept the
+        default ``(None,)`` axis and use their paper configuration at each
+        batch size.  GPU workloads need a device spec and precision, so they
+        go through :meth:`run_many` with explicit workloads instead.
+        """
+        network_list = list(networks)
+        batch_list = list(batch_sizes)
+        bandwidth_list = list(bandwidths)
+        if platform != "bitfusion":
+            if bandwidth_list != [None]:
+                raise ValueError(
+                    f"the bandwidth axis only applies to bitfusion, not {platform!r}"
+                )
+            if (
+                base_config is not None
+                or fixed_bits is not None
+                or not enable_loop_ordering
+                or not enable_layer_fusion
+            ):
+                raise ValueError(
+                    "base_config, fixed_bits and the compiler flags only apply to "
+                    f"bitfusion sweeps, not {platform!r}"
+                )
+
+        workloads: list[Workload] = []
+        axes: list[tuple[str, int, int | None]] = []
+        for network, batch, bandwidth in product(network_list, batch_list, bandwidth_list):
+            if platform == "bitfusion":
+                config = (
+                    base_config.with_batch_size(batch)
+                    if base_config is not None
+                    else BitFusionConfig.eyeriss_matched(batch_size=batch)
+                )
+                if bandwidth is not None:
+                    config = config.with_bandwidth(bandwidth)
+                workload = Workload.bitfusion(
+                    network,
+                    batch_size=batch,
+                    config=config,
+                    fixed_bits=fixed_bits,
+                    enable_loop_ordering=enable_loop_ordering,
+                    enable_layer_fusion=enable_layer_fusion,
+                )
+            elif platform == "eyeriss":
+                workload = Workload.eyeriss(network, batch_size=batch)
+            elif platform == "stripes":
+                workload = Workload.stripes(network, batch_size=batch)
+            elif platform == "temporal":
+                workload = Workload.temporal(network, batch_size=batch)
+            else:
+                raise ValueError(
+                    f"sweep supports bitfusion/eyeriss/stripes/temporal, not {platform!r}"
+                )
+            workloads.append(workload)
+            axes.append((network, batch, bandwidth))
+
+        results = self.run_many(workloads)
+        return SweepResult(
+            SweepPoint(
+                network=network,
+                batch_size=batch,
+                bandwidth=bandwidth,
+                workload=workload,
+                result=result,
+            )
+            for (network, batch, bandwidth), workload, result in zip(axes, workloads, results)
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Default-session management
+# ---------------------------------------------------------------------- #
+_DEFAULT_SESSION: EvaluationSession | None = None
+
+
+def get_default_session() -> EvaluationSession:
+    """The process-wide shared session, created lazily on first use."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = EvaluationSession()
+    return _DEFAULT_SESSION
+
+
+def set_default_session(session: EvaluationSession | None) -> EvaluationSession | None:
+    """Install a new default session; returns the previous one."""
+    global _DEFAULT_SESSION
+    previous = _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+    return previous
+
+
+def resolve_session(session: EvaluationSession | None = None) -> EvaluationSession:
+    """The explicit session if given, else the shared default."""
+    return session if session is not None else get_default_session()
+
+
+@contextmanager
+def use_session(session: EvaluationSession) -> Iterator[EvaluationSession]:
+    """Scope ``session`` as the default for the duration of a ``with`` block."""
+    previous = set_default_session(session)
+    try:
+        yield session
+    finally:
+        set_default_session(previous)
