@@ -13,7 +13,8 @@ def test_tab03_platforms(benchmark, bench_once, capsys):
         print(tab03_platforms.format_table(rows))
 
     platforms = {row.platform for row in rows}
-    assert len(rows) == 7
+    assert len(rows) == 8
+    assert any("Temporal" in platform for platform in platforms)
     assert any("Eyeriss" in platform for platform in platforms)
     assert any("Stripes" in platform for platform in platforms)
     assert any("Tegra" in platform for platform in platforms)

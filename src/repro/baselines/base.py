@@ -87,6 +87,14 @@ class AcceleratorModel(ABC):
     baselines, and the temporal design — implements it, so the session can
     cache and parallelize all of them uniformly.  ``run`` is a concrete
     alias kept for the library's historical surface.
+
+    Under the staged pipeline (compile → simulate-blocks → compose,
+    :mod:`repro.session.engine`), ``evaluate`` is the single-stage face of
+    each platform: Bit Fusion's implementation is the composition of its
+    three cacheable stages, while the baselines simulate per layer and
+    compose through the same
+    :func:`~repro.sim.results.compose_network_result` stage, so every
+    platform's per-layer records aggregate identically.
     """
 
     #: Platform name used in result records and reports.

@@ -34,7 +34,12 @@ from repro.energy.cacti import SramEnergyModel
 from repro.energy.components import ComputeEnergyModel
 from repro.energy.dram import DramEnergyModel
 from repro.baselines.base import AcceleratorModel, layer_gemm_workload
-from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+from repro.sim.results import (
+    LayerResult,
+    MemoryTraffic,
+    NetworkResult,
+    compose_network_result,
+)
 
 __all__ = ["EyerissConfig", "EyerissModel"]
 
@@ -208,12 +213,12 @@ class EyerissModel(AcceleratorModel):
                 layers.append(self._run_compute_layer(layer, batch))
             else:
                 layers.append(self._run_auxiliary_layer(layer, batch))
-        return NetworkResult(
+        return compose_network_result(
             network_name=network.name,
             platform=self.name,
             batch_size=batch,
             frequency_mhz=self.config.frequency_mhz,
-            layers=tuple(layers),
+            layers=layers,
         )
 
     def describe(self) -> str:

@@ -25,7 +25,12 @@ from repro.dnn.layers import Layer
 from repro.dnn.network import Network
 from repro.energy.breakdown import EnergyBreakdown
 from repro.baselines.base import AcceleratorModel
-from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+from repro.sim.results import (
+    LayerResult,
+    MemoryTraffic,
+    NetworkResult,
+    compose_network_result,
+)
 
 __all__ = ["GpuPrecision", "GpuSpec", "GpuModel", "TEGRA_X2", "TITAN_XP"]
 
@@ -207,7 +212,7 @@ class GpuModel(AcceleratorModel):
         if batch_size <= 0:
             raise ValueError(f"batch size must be positive, got {batch_size}")
         layers = tuple(self._run_layer(layer, batch_size) for layer in network)
-        return NetworkResult(
+        return compose_network_result(
             network_name=network.name,
             platform=self.name,
             batch_size=batch_size,

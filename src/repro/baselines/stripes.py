@@ -36,7 +36,12 @@ from repro.baselines.base import (
     dram_traffic_for_workload,
     layer_gemm_workload,
 )
-from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+from repro.sim.results import (
+    LayerResult,
+    MemoryTraffic,
+    NetworkResult,
+    compose_network_result,
+)
 
 __all__ = ["StripesConfig", "StripesModel"]
 
@@ -201,12 +206,12 @@ class StripesModel(AcceleratorModel):
                 layers.append(self._run_compute_layer(layer, batch))
             else:
                 layers.append(self._run_auxiliary_layer(layer, batch))
-        return NetworkResult(
+        return compose_network_result(
             network_name=network.name,
             platform=self.name,
             batch_size=batch,
             frequency_mhz=self.config.frequency_mhz,
-            layers=tuple(layers),
+            layers=layers,
         )
 
     def describe(self) -> str:

@@ -41,7 +41,12 @@ from repro.energy.components import (
     temporal_unit_power_breakdown,
 )
 from repro.energy.dram import DramEnergyModel
-from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+from repro.sim.results import (
+    LayerResult,
+    MemoryTraffic,
+    NetworkResult,
+    compose_network_result,
+)
 
 __all__ = [
     "LANES_PER_TEMPORAL_UNIT",
@@ -285,7 +290,7 @@ class TemporalAcceleratorModel(AcceleratorModel):
             else self._run_auxiliary_layer(layer, batch)
             for layer in network
         )
-        return NetworkResult(
+        return compose_network_result(
             network_name=network.name,
             platform=self.name,
             batch_size=batch,

@@ -68,7 +68,15 @@ class BitFusionAccelerator:
         return self.compiler.compile(network, batch_size=batch_size)
 
     def run(self, network: Network, batch_size: int | None = None) -> NetworkResult:
-        """Compile and simulate a network, returning performance and energy."""
+        """Compile and simulate a network, returning performance and energy.
+
+        This is the staged pipeline run end to end in one call: compile the
+        network to a :class:`~repro.isa.program.Program` (stage 1), simulate
+        each instruction block independently (stage 2) and compose the
+        per-block results (stage 3).  The evaluation session
+        (:mod:`repro.session`) runs the same stages with a cache at every
+        seam; both paths produce byte-identical results.
+        """
         program = self.compile(network, batch_size=batch_size)
         return self.simulator.run_program(program, batch_size=batch_size)
 

@@ -22,7 +22,7 @@ The layer classes expose
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 __all__ = [
     "GemmShape",
@@ -33,6 +33,8 @@ __all__ = [
     "ActivationLayer",
     "LSTMLayer",
     "RNNLayer",
+    "layer_to_dict",
+    "layer_from_dict",
 ]
 
 _VALID_BITS = (1, 2, 4, 8, 16)
@@ -353,3 +355,36 @@ class RNNLayer(_RecurrentLayer):
     def __post_init__(self) -> None:
         object.__setattr__(self, "gates", 1)
         super().__post_init__()
+
+
+# ---------------------------------------------------------------------- #
+# Serialization
+# ---------------------------------------------------------------------- #
+#: Concrete layer classes by name, for :func:`layer_from_dict`.
+_LAYER_TYPES: dict[str, type[Layer]] = {
+    cls.__name__: cls
+    for cls in (Layer, ConvLayer, FCLayer, PoolLayer, ActivationLayer, LSTMLayer, RNNLayer)
+}
+
+
+def layer_to_dict(layer: Layer) -> dict[str, object]:
+    """JSON-compatible payload of a layer: a type tag plus every field value.
+
+    Every layer field is an int or str, so the payload round-trips losslessly
+    through JSON; :func:`layer_from_dict` rebuilds an equal layer instance.
+    This is what lets compiled :class:`~repro.isa.program.Program` artifacts
+    (which embed the layer each block implements) persist across processes.
+    """
+    return {"type": type(layer).__name__, **asdict(layer)}
+
+
+def layer_from_dict(payload: dict[str, object]) -> Layer:
+    """Rebuild a layer from :func:`layer_to_dict` output."""
+    type_name = payload.get("type")
+    if type_name not in _LAYER_TYPES:
+        raise ValueError(f"unknown layer type {type_name!r}")
+    cls = _LAYER_TYPES[type_name]
+    # Derived fields (e.g. the recurrent layers' ``gates``, init=False) are
+    # recomputed by the constructor, so only init-able fields pass through.
+    init_fields = {f.name for f in fields(cls) if f.init}
+    return cls(**{key: value for key, value in payload.items() if key in init_fields})

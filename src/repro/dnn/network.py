@@ -10,10 +10,10 @@ operand-bitwidth combinations.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from repro.dnn.layers import Layer
+from repro.dnn.layers import Layer, layer_to_dict
 from repro.fingerprint import fingerprint_payload
 
 __all__ = ["Network", "BitwidthProfile"]
@@ -158,9 +158,7 @@ class Network:
         return fingerprint_payload(
             {
                 "name": self.name,
-                "layers": [
-                    {"type": type(layer).__name__, **asdict(layer)} for layer in self
-                ],
+                "layers": [layer_to_dict(layer) for layer in self],
             }
         )
 

@@ -18,6 +18,7 @@ from repro.harness.experiments import (
     isa_stats,
     tab02_benchmarks,
     tab03_platforms,
+    temporal_network,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "isa_stats",
     "tab02_benchmarks",
     "tab03_platforms",
+    "temporal_network",
 ]

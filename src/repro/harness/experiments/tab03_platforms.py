@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.baselines.eyeriss import EyerissConfig
 from repro.baselines.gpu import TEGRA_X2, TITAN_XP
 from repro.baselines.stripes import StripesConfig
+from repro.baselines.temporal import TemporalAcceleratorModel
 from repro.core.config import BitFusionConfig
 from repro.session import EvaluationSession
 
@@ -51,6 +52,7 @@ def run(session: EvaluationSession | None = None) -> list[PlatformRow]:
     del session
     eyeriss = EyerissConfig()
     stripes = StripesConfig()
+    temporal = TemporalAcceleratorModel()
     bf_eyeriss = BitFusionConfig.eyeriss_matched()
     bf_stripes = BitFusionConfig.stripes_matched()
     bf_gpu = BitFusionConfig.gpu_scaled_16nm()
@@ -87,6 +89,16 @@ def run(session: EvaluationSession | None = None) -> list[PlatformRow]:
             on_chip_memory="12 GB GDDR5X (device memory)",
             technology="16nm",
             precision=f"FP32 / INT8 ({TITAN_XP.peak_int8_gops / 1e3:.0f} TOPS peak)",
+        ),
+        PlatformRow(
+            platform="Temporal bit-serial (same area)",
+            compute_units=(
+                f"{temporal.design.temporal_units_in_area} units ({temporal.lanes} lanes)"
+            ),
+            frequency_mhz=temporal.frequency_mhz,
+            on_chip_memory=f"n/a ({temporal.design.compute_area_mm2} mm2 area-matched)",
+            technology="45nm",
+            precision="2-bit serial slices",
         ),
         PlatformRow(
             platform="Bit Fusion (Eyeriss-matched)",

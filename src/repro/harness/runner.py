@@ -10,12 +10,16 @@ command-line entry point and a saveable report.
 Every report is backed by one :class:`repro.session.EvaluationSession` — the
 shared, cached workload engine under ``src/repro/session/``.  Experiments
 declare (platform config, network, batch, compiler-flags) workloads and the
-session deduplicates them by content fingerprint, so a full report simulates
+session runs them through a staged compile → simulate-blocks → compose
+pipeline with a cacheable artifact at each seam, so a full report simulates
 each unique workload exactly once no matter how many figures need it, and
-finishes with a cache-statistics section.  ``--jobs N`` fans uncached
-workloads out over a process pool (results are ordered deterministically, so
-parallel reports are byte-identical to serial ones) and ``--cache-dir PATH``
-persists results as JSON so later invocations skip simulation entirely.
+finishes with per-stage cache statistics (workload, program and block hit
+counts).  ``--jobs N`` fans uncached workloads out over a process pool,
+scheduled longest-job-first (results are ordered deterministically, so
+parallel reports are byte-identical to serial ones); ``--cache-dir PATH``
+persists compiled programs and per-block results as JSON so later
+invocations skip recompilation and unchanged-block simulation entirely, and
+``--cache-max-mb`` bounds that directory with LRU eviction.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from repro.harness.experiments import (
     isa_stats,
     tab02_benchmarks,
     tab03_platforms,
+    temporal_network,
 )
 from repro.harness.reporting import format_table
 from repro.session import EvaluationSession, resolve_session, use_session
@@ -113,6 +118,10 @@ def _render_isa(benchmarks):
     return isa_stats.format_table(isa_stats.run(benchmarks=benchmarks))
 
 
+def _render_temporal(benchmarks):
+    return temporal_network.format_table(temporal_network.run(benchmarks=benchmarks))
+
+
 def _render_ablations(benchmarks):
     rows = ablations.run(benchmarks=benchmarks)
     summary = ablations.geomean_summary(rows)
@@ -133,6 +142,11 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("fig16", "Figure 16 - batch-size sensitivity", _render_fig16),
     ExperimentSpec("fig17", "Figure 17 - comparison with GPUs", _render_fig17),
     ExperimentSpec("fig18", "Figure 18 - improvement over Stripes", _render_fig18),
+    ExperimentSpec(
+        "temporal",
+        "Section III-C - whole-network temporal design comparison",
+        _render_temporal,
+    ),
     ExperimentSpec("isa", "Section IV - ISA block statistics", _render_isa),
     ExperimentSpec("ablations", "Ablations of the design mechanisms", _render_ablations),
 )
@@ -176,16 +190,20 @@ def build_report(
     session: EvaluationSession | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    max_cache_bytes: int | None = None,
 ) -> str:
     """Run the selected experiments and assemble a markdown report.
 
     One :class:`EvaluationSession` backs the whole report (built from
-    ``jobs``/``cache_dir`` unless an explicit ``session`` is given); the
-    report ends with the session's cache statistics.
+    ``jobs``/``cache_dir``/``max_cache_bytes`` unless an explicit
+    ``session`` is given); the report ends with the session's per-stage
+    cache statistics.
     """
     owns_session = session is None
     if session is None:
-        session = EvaluationSession(jobs=jobs, cache_dir=cache_dir)
+        session = EvaluationSession(
+            jobs=jobs, cache_dir=cache_dir, max_cache_bytes=max_cache_bytes
+        )
     sections = [
         "# Bit Fusion reproduction — experiment report",
         "",
@@ -210,6 +228,10 @@ def build_report(
     sections.append(session.stats.summary())
     if session.cache.cache_dir is not None:
         sections.append(f"persistent cache: {session.cache.cache_dir}")
+        if session.cache.max_bytes is not None:
+            sections.append(
+                f"cache size budget: {session.cache.max_bytes / (1024 * 1024):.1f} MB (LRU)"
+            )
     if session.jobs > 1:
         sections.append(f"worker processes: {session.jobs}")
     sections.append("```")
@@ -250,8 +272,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-dir",
         metavar="PATH",
-        help="persist simulation results as JSON under PATH and reuse them "
-        "across report invocations",
+        help="persist compiled programs and per-block simulation results as "
+        "JSON under PATH and reuse them across report invocations",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size budget for the on-disk cache; least-recently-used entries "
+        "are evicted past it (requires --cache-dir)",
     )
     parser.add_argument(
         "--list",
@@ -267,6 +297,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    max_cache_bytes = None
+    if args.cache_max_mb is not None:
+        if args.cache_dir is None:
+            parser.error("--cache-max-mb requires --cache-dir")
+        if args.cache_max_mb <= 0:
+            parser.error(f"--cache-max-mb must be positive, got {args.cache_max_mb}")
+        max_cache_bytes = int(args.cache_max_mb * 1024 * 1024)
     benchmarks = None
     if args.benchmarks:
         try:
@@ -280,6 +317,7 @@ def main(argv: list[str] | None = None) -> int:
         benchmarks=benchmarks,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        max_cache_bytes=max_cache_bytes,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

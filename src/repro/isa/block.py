@@ -20,7 +20,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.isa.encoding import INSTRUCTION_BYTES, encode_block
+from repro.isa.encoding import (
+    INSTRUCTION_BYTES,
+    decode_block_hex,
+    encode_block,
+    encode_block_hex,
+)
 from repro.isa.instructions import (
     BlockEnd,
     Compute,
@@ -182,6 +187,20 @@ class InstructionBlock:
     def encode(self) -> bytes:
         """Binary image of the block."""
         return encode_block(list(self._instructions))
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-compatible payload: the block name plus its hex binary image.
+
+        The instruction encoder/decoder pair round-trips every instruction
+        kind exactly (see :mod:`repro.isa.encoding`), so rebuilding through
+        :meth:`from_dict` yields an equal instruction sequence.
+        """
+        return {"name": self.name, "image": encode_block_hex(list(self._instructions))}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, str]) -> "InstructionBlock":
+        """Rebuild (and re-validate) a block from :meth:`to_dict` output."""
+        return cls(payload["name"], decode_block_hex(payload["image"]))
 
     def stats(self) -> BlockStats:
         """Per-block statistics (instruction counts, binary footprint)."""

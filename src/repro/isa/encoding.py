@@ -50,6 +50,8 @@ __all__ = [
     "decode_instruction",
     "encode_block",
     "decode_block",
+    "encode_block_hex",
+    "decode_block_hex",
 ]
 
 #: Every Fusion-ISA instruction occupies one 32-bit word.
@@ -156,6 +158,21 @@ def encode_block(instructions: list[Instruction]) -> bytes:
     return b"".join(
         struct.pack(">I", encode_instruction(instruction)) for instruction in instructions
     )
+
+
+def encode_block_hex(instructions: list[Instruction]) -> str:
+    """Binary image of a block as a lowercase hex string.
+
+    The hex form is the JSON-friendly face of :func:`encode_block`; it is
+    what serialized :class:`~repro.isa.program.Program` artifacts store, so
+    an instruction sequence survives a disk round trip bit-for-bit.
+    """
+    return encode_block(instructions).hex()
+
+
+def decode_block_hex(image_hex: str) -> list[Instruction]:
+    """Decode a hex image produced by :func:`encode_block_hex`."""
+    return decode_block(bytes.fromhex(image_hex))
 
 
 def decode_block(image: bytes) -> list[Instruction]:

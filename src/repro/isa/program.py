@@ -5,14 +5,24 @@ the cycle-accurate simulator executes.  Each entry pairs an
 :class:`~repro.isa.block.InstructionBlock` with the compilation metadata the
 simulator needs (the layer it implements, its tiling plan, the chosen loop
 order and any fused follow-on layers).
+
+Programs (and their blocks) serialize deterministically to JSON-compatible
+dictionaries — instructions through the Table I binary encoding, layers and
+tiling plans field by field — and fingerprint themselves over that payload.
+This is what makes a compiled program a first-class cacheable artifact of
+the staged compile → simulate-blocks → compose pipeline: the evaluation
+session persists programs on disk, reuses them across sweeps that only vary
+simulation parameters, and keys per-block simulation results on the block
+fingerprint.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
-from repro.dnn.layers import Layer
+from repro.dnn.layers import Layer, layer_from_dict, layer_to_dict
+from repro.fingerprint import fingerprint_payload
 from repro.isa.block import InstructionBlock
 from repro.isa.instructions import LoopOrder
 from repro.isa.tiling import TilingPlan
@@ -53,6 +63,40 @@ class CompiledBlock:
     def is_fused(self) -> bool:
         return bool(self.fused_layers)
 
+    # ------------------------------------------------------------------ #
+    # Serialization and fingerprinting
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible payload carrying everything the simulator reads."""
+        return {
+            "block": self.block.to_dict(),
+            "layer": layer_to_dict(self.layer),
+            "tiling": self.tiling.to_dict(),
+            "loop_order": self.loop_order.value,
+            "fused_layers": [layer_to_dict(layer) for layer in self.fused_layers],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CompiledBlock":
+        """Rebuild a compiled block from :meth:`to_dict` output."""
+        return cls(
+            block=InstructionBlock.from_dict(payload["block"]),
+            layer=layer_from_dict(payload["layer"]),
+            tiling=TilingPlan.from_dict(payload["tiling"]),
+            loop_order=LoopOrder(payload["loop_order"]),
+            fused_layers=tuple(layer_from_dict(item) for item in payload["fused_layers"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the serialized block payload.
+
+        Two blocks with identical instructions, layer, tiling and fusion
+        metadata hash the same in any process; this digest (plus the
+        simulation-affecting accelerator parameters) keys cached per-block
+        simulation results.
+        """
+        return fingerprint_payload(self.to_dict())
+
 
 class Program:
     """The ordered list of compiled blocks for one network."""
@@ -82,6 +126,33 @@ class Program:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Program({self.network_name!r}, {len(self)} blocks)"
+
+    # ------------------------------------------------------------------ #
+    # Serialization and fingerprinting
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible payload of the whole program."""
+        return {
+            "network_name": self.network_name,
+            "blocks": [compiled.to_dict() for compiled in self],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Program":
+        """Rebuild a program from :meth:`to_dict` output.
+
+        Instruction blocks re-validate their structural invariants on
+        construction, so a corrupted payload raises instead of silently
+        producing a malformed program.
+        """
+        return cls(
+            payload["network_name"],
+            [CompiledBlock.from_dict(item) for item in payload["blocks"]],
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the serialized program payload."""
+        return fingerprint_payload(self.to_dict())
 
     # ------------------------------------------------------------------ #
     # Aggregate statistics

@@ -29,7 +29,7 @@ evaluations per layer).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from math import ceil
 
 from repro.core.config import BitFusionConfig
@@ -71,6 +71,15 @@ class GemmWorkload:
     @property
     def macs(self) -> int:
         return self.m * self.n * self.r
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-compatible payload (every field is an int)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, int]) -> "GemmWorkload":
+        """Rebuild (and re-validate) a workload from :meth:`to_dict` output."""
+        return cls(**payload)
 
     @property
     def weight_footprint_bits(self) -> int:
@@ -132,6 +141,35 @@ class TilingPlan:
     def fits_on_chip(self) -> bool:
         """Whether the whole GEMM fits in the scratchpads as a single tile."""
         return self.tile_count == 1
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible payload of the plan (workload nested, enum by value)."""
+        return {
+            "workload": self.workload.to_dict(),
+            "loop_order": self.loop_order.value,
+            "tile_m": self.tile_m,
+            "tile_n": self.tile_n,
+            "tile_r": self.tile_r,
+            "dram_weight_bits": self.dram_weight_bits,
+            "dram_input_bits": self.dram_input_bits,
+            "dram_output_write_bits": self.dram_output_write_bits,
+            "dram_output_read_bits": self.dram_output_read_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "TilingPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(
+            workload=GemmWorkload.from_dict(dict(payload["workload"])),  # type: ignore[arg-type]
+            loop_order=LoopOrder(payload["loop_order"]),
+            tile_m=int(payload["tile_m"]),  # type: ignore[arg-type]
+            tile_n=int(payload["tile_n"]),  # type: ignore[arg-type]
+            tile_r=int(payload["tile_r"]),  # type: ignore[arg-type]
+            dram_weight_bits=int(payload["dram_weight_bits"]),  # type: ignore[arg-type]
+            dram_input_bits=int(payload["dram_input_bits"]),  # type: ignore[arg-type]
+            dram_output_write_bits=int(payload["dram_output_write_bits"]),  # type: ignore[arg-type]
+            dram_output_read_bits=int(payload["dram_output_read_bits"]),  # type: ignore[arg-type]
+        )
 
     def with_output_store_bits(self, output_write_bits: int) -> "TilingPlan":
         """Copy of this plan with a different output-store traffic total.

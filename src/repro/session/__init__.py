@@ -6,18 +6,32 @@ comparison routes through:
 * :class:`~repro.session.workload.Workload` — one (platform, network,
   batch, compiler-flags) evaluation point with a stable content
   fingerprint.
-* :class:`~repro.session.cache.ResultCache` — fingerprint-keyed result
-  store, in-memory with an optional on-disk JSON layer.
+* :mod:`~repro.session.engine` — the staged compile → simulate-blocks →
+  compose pipeline, with a cacheable artifact at every seam (compiled
+  programs keyed structure-only; per-block results keyed by block
+  fingerprint + simulation-affecting config).
+* :class:`~repro.session.cache.ResultCache` — fingerprint-keyed artifact
+  store, in-memory with an optional manifest-indexed, LRU-bounded on-disk
+  JSON layer.
 * :class:`~repro.session.session.EvaluationSession` — ``run`` /
-  ``run_many`` (process-pool parallel) / declarative ``sweep`` execution
-  with cache-hit accounting.
+  ``run_many`` (process-pool parallel, longest-job-first) / declarative
+  ``sweep`` execution with per-stage cache-hit accounting.
 
 See ``python -m repro.harness --help`` for the report runner built on top
-(``--jobs`` and ``--cache-dir`` map directly onto a session).
+(``--jobs``, ``--cache-dir`` and ``--cache-max-mb`` map directly onto a
+session).
 """
 
-from repro.session.cache import CacheStats, ProgramStats, ResultCache
-from repro.session.engine import build_model, compile_workload, execute_workload
+from repro.session.cache import CacheStats, ProgramStats, ResultCache, StageStats
+from repro.session.engine import (
+    block_cache_key,
+    build_model,
+    compile_program,
+    compile_workload,
+    execute_workload,
+    execute_workload_cached,
+    program_cache_key,
+)
 from repro.session.session import (
     EvaluationSession,
     SweepPoint,
@@ -27,7 +41,14 @@ from repro.session.session import (
     set_default_session,
     use_session,
 )
-from repro.session.workload import PLATFORMS, Workload, fixed_bitwidth_network, load_network
+from repro.session.workload import (
+    PLATFORMS,
+    Workload,
+    estimated_cost,
+    fixed_bitwidth_network,
+    load_network,
+    network_digest,
+)
 
 __all__ = [
     "CacheStats",
@@ -35,15 +56,22 @@ __all__ = [
     "PLATFORMS",
     "ProgramStats",
     "ResultCache",
+    "StageStats",
     "SweepPoint",
     "SweepResult",
     "Workload",
+    "block_cache_key",
     "build_model",
+    "compile_program",
     "compile_workload",
+    "estimated_cost",
     "execute_workload",
+    "execute_workload_cached",
     "fixed_bitwidth_network",
     "get_default_session",
     "load_network",
+    "network_digest",
+    "program_cache_key",
     "resolve_session",
     "set_default_session",
     "use_session",

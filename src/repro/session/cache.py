@@ -1,15 +1,39 @@
-"""Result cache keyed by workload fingerprint (in-memory + optional disk).
+"""Two-level artifact cache keyed by content fingerprints (memory + disk).
 
-The cache stores two payload kinds: full :class:`~repro.sim.results.NetworkResult`
-records (one per simulated workload) and the lightweight
-:class:`ProgramStats` records the ISA experiment derives from compiled
-programs.  Both serialize losslessly to JSON — every field is an int, float
-or string, and Python's JSON round-trips floats exactly — so an entry read
-back from disk is bit-identical to the freshly computed result.
+The staged compile → simulate-blocks → compose pipeline produces cacheable
+artifacts at every seam, and this module stores all of them behind one
+fingerprint-keyed interface:
+
+* ``program`` — a compiled :class:`~repro.isa.program.Program`, keyed by a
+  *structure-only* fingerprint (network structure, batch, scratchpad sizes,
+  compiler flags), so sweeps that vary only simulation parameters (e.g.
+  off-chip bandwidth) reuse one compilation;
+* ``layer_result`` — one simulated block's
+  :class:`~repro.sim.results.LayerResult`, keyed by the block fingerprint
+  plus the simulation-affecting configuration, so unchanged blocks are never
+  re-simulated;
+* ``network_result`` — a full composed/simulated
+  :class:`~repro.sim.results.NetworkResult` (the baselines' unit of work);
+* ``program_stats`` — lightweight instruction statistics (legacy kind,
+  still readable).
+
+Every payload serializes losslessly to JSON — ints, floats and strings
+only, and Python's JSON round-trips floats exactly — so an entry read back
+from disk is bit-identical to the freshly computed artifact.
 
 On-disk layout: one ``<fingerprint>.json`` file per entry under the cache
-directory, carrying the payload kind, a human-readable workload description
-and the payload itself.
+directory, plus a ``manifest.json`` carrying a schema version and an entry
+index (kind, size, recency).  The manifest makes a cache directory safe to
+share across machines and CI runs: a schema bump or a hand-edited directory
+degrades to a rebuild, never a crash, and an optional ``max_bytes`` budget
+evicts least-recently-used entries so shared directories stay bounded.
+
+The manifest is strictly advisory: entry lookups always check the
+filesystem, so a stale, missing or read-only manifest never affects
+correctness — read paths degrade to plain reads when the directory is not
+writable, and concurrent writers that race on the manifest merely leave it
+temporarily incomplete (each writer enforces the size budget against its
+own view until the next rebuild reconciles the index).
 """
 
 from __future__ import annotations
@@ -20,16 +44,28 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.energy.breakdown import EnergyBreakdown
-from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+from repro.isa.program import Program
+from repro.sim.results import (
+    LayerResult,
+    NetworkResult,
+    layer_result_from_dict,
+    layer_result_to_dict,
+)
 
 __all__ = [
     "CacheStats",
+    "StageStats",
     "ProgramStats",
     "ResultCache",
+    "MANIFEST_SCHEMA_VERSION",
     "network_result_to_dict",
     "network_result_from_dict",
 ]
+
+#: Version of the on-disk manifest schema; a mismatch triggers a rebuild.
+MANIFEST_SCHEMA_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
 
 
 @dataclass(frozen=True)
@@ -45,22 +81,75 @@ class ProgramStats:
     def blocks(self) -> int:
         return len(self.block_instruction_counts)
 
+    @classmethod
+    def from_program(cls, program: Program) -> "ProgramStats":
+        """Distill the statistics of a compiled program.
+
+        Deriving the statistics from a (possibly cache-restored) program is
+        what lets the ISA experiment share the program-level cache with the
+        simulation pipeline instead of keeping a parallel store.
+        """
+        return cls(
+            network_name=program.network_name,
+            block_instruction_counts=tuple(len(compiled.block) for compiled in program),
+            total_instructions=program.total_instructions(),
+            binary_bytes=program.total_binary_bytes(),
+        )
+
+
+@dataclass
+class StageStats:
+    """Hit/miss counters for one pipeline stage (programs or blocks)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def record_hit(self, source: str) -> None:
+        self.hits += 1
+        if source == "disk":
+            self.disk_hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    def summary(self, label: str, work: str) -> str:
+        return (
+            f"{label}: {self.hits} hits ({self.disk_hits} from disk), "
+            f"{self.misses} {work} (hit rate {self.hit_rate:.0%})"
+        )
+
 
 @dataclass
 class CacheStats:
     """Counters the session reports at the end of a run.
 
-    ``hits`` counts lookups satisfied from memory or disk, ``misses``
-    lookups that required fresh work; ``disk_hits`` is the subset of hits
-    that came from the on-disk store; ``unique_executions`` counts distinct
-    fingerprints executed this session — simulations plus compilations (the
-    acceptance criterion is that no fingerprint is ever executed twice).
+    Workload-level counters: ``hits`` counts lookups satisfied from memory,
+    disk, or by composing cached per-block artifacts; ``misses`` lookups
+    that required fresh work; ``disk_hits`` is the subset of hits that
+    involved the on-disk store; ``unique_executions`` counts distinct
+    fingerprints that did fresh work this session (the acceptance criterion
+    is that no fingerprint is ever executed twice).
+
+    Stage-level counters: ``programs`` tracks compile-stage cache traffic
+    (misses are compilations) and ``blocks`` tracks the simulate-blocks
+    stage (misses are per-block simulations).
     """
 
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
     executions: dict[str, int] = field(default_factory=dict)
+    programs: StageStats = field(default_factory=StageStats)
+    blocks: StageStats = field(default_factory=StageStats)
 
     @property
     def lookups(self) -> int:
@@ -82,12 +171,15 @@ class CacheStats:
         return max(self.executions.values(), default=0)
 
     def summary(self) -> str:
-        return (
+        lines = [
             f"{self.lookups} workload lookups: {self.hits} cache hits "
             f"({self.disk_hits} from disk), {self.misses} misses, "
             f"{self.unique_executions} unique executions "
-            f"(simulations + compilations, hit rate {self.hit_rate:.0%})"
-        )
+            f"(hit rate {self.hit_rate:.0%})"
+        ]
+        lines.append(self.programs.summary("program cache", "compiles"))
+        lines.append(self.blocks.summary("block cache", "block simulations"))
+        return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------- #
@@ -100,21 +192,7 @@ def network_result_to_dict(result: NetworkResult) -> dict[str, Any]:
 
 def network_result_from_dict(payload: dict[str, Any]) -> NetworkResult:
     """Rebuild a NetworkResult from :func:`network_result_to_dict` output."""
-    layers = tuple(
-        LayerResult(
-            name=layer["name"],
-            macs=layer["macs"],
-            input_bits=layer["input_bits"],
-            weight_bits=layer["weight_bits"],
-            compute_cycles=layer["compute_cycles"],
-            memory_cycles=layer["memory_cycles"],
-            overhead_cycles=layer["overhead_cycles"],
-            traffic=MemoryTraffic(**layer["traffic"]),
-            energy=EnergyBreakdown(**layer["energy"]),
-            utilization=layer["utilization"],
-        )
-        for layer in payload["layers"]
-    )
+    layers = tuple(layer_result_from_dict(layer) for layer in payload["layers"])
     return NetworkResult(
         network_name=payload["network_name"],
         platform=payload["platform"],
@@ -144,6 +222,8 @@ def _program_stats_from_dict(payload: dict[str, Any]) -> ProgramStats:
 
 _SERIALIZERS = {
     "network_result": (network_result_to_dict, network_result_from_dict),
+    "layer_result": (layer_result_to_dict, layer_result_from_dict),
+    "program": (Program.to_dict, Program.from_dict),
     "program_stats": (_program_stats_to_dict, _program_stats_from_dict),
 }
 
@@ -151,13 +231,17 @@ _SERIALIZERS = {
 def _kind_of(value: Any) -> str:
     if isinstance(value, NetworkResult):
         return "network_result"
+    if isinstance(value, LayerResult):
+        return "layer_result"
+    if isinstance(value, Program):
+        return "program"
     if isinstance(value, ProgramStats):
         return "program_stats"
     raise TypeError(f"cannot cache values of type {type(value).__name__}")
 
 
 class ResultCache:
-    """Fingerprint-keyed store of evaluation results.
+    """Fingerprint-keyed store of evaluation artifacts.
 
     Parameters
     ----------
@@ -165,13 +249,26 @@ class ResultCache:
         When given, entries are also persisted as JSON files under this
         directory and later sessions (or processes) can reuse them; when
         ``None`` the cache is memory-only and lives for one session.
+    max_bytes:
+        Optional size budget for the on-disk store.  When the sum of entry
+        sizes exceeds the budget after a write, least-recently-used entries
+        are evicted until it fits (the entry just written always survives).
     """
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self, cache_dir: str | Path | None = None, max_bytes: int | None = None
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self._memory: dict[str, Any] = {}
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_bytes = max_bytes
+        self._manifest: dict[str, dict[str, Any]] = {}
+        self._manifest_dirty = False
+        self._seq = 0
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._load_manifest()
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -179,6 +276,132 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return key in self._memory or self._entry_path(key) is not None
 
+    # ------------------------------------------------------------------ #
+    # Manifest (schema version + entry index + recency for LRU)
+    # ------------------------------------------------------------------ #
+    @property
+    def _manifest_path(self) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / _MANIFEST_NAME
+
+    def _load_manifest(self) -> None:
+        try:
+            payload = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+            if payload.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+                raise ValueError("manifest schema mismatch")
+            entries = payload["entries"]
+            if not isinstance(entries, dict) or not all(
+                isinstance(entry, dict)
+                and isinstance(entry.get("seq", 0), (int, float))
+                and isinstance(entry.get("bytes", 0), (int, float))
+                for entry in entries.values()
+            ):
+                raise ValueError("malformed manifest entries")
+            self._manifest = entries
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, stale-schema or corrupted manifest: rebuild the index
+            # from the entry files actually present.  Entry payloads stay
+            # readable either way — the manifest is bookkeeping, not data.
+            self._rebuild_manifest()
+        self._seq = max(
+            (int(entry.get("seq", 0)) for entry in self._manifest.values()), default=0
+        )
+
+    def _rebuild_manifest(self) -> None:
+        assert self.cache_dir is not None
+        records: list[tuple[float, str, Path, int]] = []
+        for path in self.cache_dir.glob("*.json"):
+            if path.name == _MANIFEST_NAME or path.name.endswith(".tmp"):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                # A concurrent evictor may unlink entries mid-scan; a file
+                # that vanished simply is not part of the rebuilt index.
+                continue
+            records.append((stat.st_mtime, path.name, path, stat.st_size))
+        entries: dict[str, dict[str, Any]] = {}
+        # Oldest files get the lowest recency so a fresh manifest preserves a
+        # sensible LRU order.
+        for seq, (_, _, path, size) in enumerate(sorted(records), 1):
+            kind = "unknown"
+            try:
+                kind = json.loads(path.read_text(encoding="utf-8")).get("kind", "unknown")
+            except (OSError, ValueError):
+                pass
+            entries[path.stem] = {"kind": kind, "bytes": size, "seq": seq}
+        self._manifest = entries
+        self._manifest_dirty = True
+        self._flush_manifest()
+
+    def _flush_manifest(self) -> None:
+        """Write the manifest if it has pending changes.
+
+        A read-only shared cache directory (e.g. one seeded into CI and
+        mounted immutable) must still *serve* entries, so write failures are
+        swallowed: the manifest is advisory bookkeeping, never data.
+        """
+        if not self._manifest_dirty:
+            return
+        payload = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "entries": self._manifest,
+        }
+        path = self._manifest_path
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            return
+        self._manifest_dirty = False
+
+    def flush(self) -> None:
+        """Flush any pending manifest updates (recency touches) to disk."""
+        self._flush_manifest()
+
+    def _touch(self, key: str) -> None:
+        """Mark an entry most-recently-used.
+
+        Touches are batched in memory and flushed with the next write (or an
+        explicit :meth:`flush`): a warm, read-mostly run should not rewrite
+        the manifest once per lookup, and recency is advisory anyway.
+        """
+        entry = self._manifest.get(key)
+        if entry is None:
+            return
+        self._seq += 1
+        entry["seq"] = self._seq
+        self._manifest_dirty = True
+
+    def _evict_over_budget(self, protected: str) -> None:
+        """Evict least-recently-used entries until the size budget fits."""
+        if self.max_bytes is None or self.cache_dir is None:
+            return
+        total = sum(int(entry.get("bytes", 0)) for entry in self._manifest.values())
+        if total <= self.max_bytes:
+            return
+        by_recency = sorted(
+            (key for key in self._manifest if key != protected),
+            key=lambda key: int(self._manifest[key].get("seq", 0)),
+        )
+        for key in by_recency:
+            if total <= self.max_bytes:
+                break
+            total -= int(self._manifest[key].get("bytes", 0))
+            try:
+                (self.cache_dir / f"{key}.json").unlink(missing_ok=True)
+            except OSError:
+                continue
+            del self._manifest[key]
+            # Batched like every other manifest update (the index is
+            # advisory; a stale entry for a deleted file is harmless until
+            # the next flush or rebuild reconciles it).
+            self._manifest_dirty = True
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
     def _entry_path(self, key: str) -> Path | None:
         if self.cache_dir is None:
             return None
@@ -198,9 +421,10 @@ class ResultCache:
             value = deserialize(entry["payload"])
         except (OSError, ValueError, KeyError, TypeError):
             # A corrupted or schema-stale entry is a miss, not a crash; the
-            # fresh simulation overwrites it on the next put().
+            # fresh computation overwrites it on the next put().
             return None
         self._memory[key] = value
+        self._touch(key)
         return value
 
     def get_with_source(self, key: str) -> tuple[Any | None, str]:
@@ -210,11 +434,29 @@ class ResultCache:
         value = self.get(key)
         return value, ("disk" if value is not None else "miss")
 
-    def put(self, key: str, value: Any, description: dict[str, Any] | None = None) -> None:
-        """Store an entry in memory and, when configured, on disk."""
+    def put(
+        self,
+        key: str,
+        value: Any,
+        description: dict[str, Any] | None = None,
+        persist: bool = True,
+    ) -> None:
+        """Store an entry in memory and, when configured, on disk.
+
+        ``persist=False`` keeps the entry memory-only even when a cache
+        directory is configured — the session uses this for composed
+        network results whose per-block artifacts already live on disk
+        (persisting the composition too would just duplicate them).
+
+        The entry file itself is written immediately (and atomically);
+        manifest updates are batched and land with the next eviction pass or
+        :meth:`flush` (the session flushes after every executed batch and on
+        close), so storing N artifacts costs N entry writes plus O(1)
+        manifest rewrites instead of N.
+        """
         kind = _kind_of(value)
         self._memory[key] = value
-        if self.cache_dir is not None:
+        if self.cache_dir is not None and persist:
             serialize, _ = _SERIALIZERS[kind]
             entry = {
                 "kind": kind,
@@ -225,8 +467,22 @@ class ResultCache:
             # Per-process temp name so concurrent runs sharing a cache dir
             # never tear each other's writes; the final replace is atomic.
             tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
-            tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
-            tmp.replace(path)
+            text = json.dumps(entry, sort_keys=True)
+            try:
+                tmp.write_text(text, encoding="utf-8")
+                tmp.replace(path)
+            except OSError:
+                # A read-only shared cache directory still serves reads; the
+                # fresh value simply stays memory-only for this session.
+                return
+            self._seq += 1
+            self._manifest[key] = {
+                "kind": kind,
+                "bytes": len(text.encode("utf-8")),
+                "seq": self._seq,
+            }
+            self._manifest_dirty = True
+            self._evict_over_budget(protected=key)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries, if any, survive)."""

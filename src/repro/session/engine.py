@@ -1,13 +1,41 @@
-"""Workload execution: build the platform model and run or compile it.
+"""Staged workload execution: compile → simulate-blocks → compose.
 
-These are module-level functions (not session methods) so a
-``ProcessPoolExecutor`` can pickle the workload, execute it in a worker
-process and ship the :class:`~repro.sim.results.NetworkResult` back.  All
-simulations are deterministic, so a result computed in a worker process is
-bit-identical to one computed inline.
+This module is the seam between :class:`~repro.session.session.
+EvaluationSession` and the platform models.  Bit Fusion workloads run
+through an explicit three-stage pipeline with a cacheable artifact at every
+seam:
+
+1. **compile** — lower the network to a Fusion-ISA
+   :class:`~repro.isa.program.Program`.  The artifact is keyed by a
+   *structure-only* fingerprint (:func:`program_cache_key`): network
+   structure, batch size, scratchpad capacities and compiler flags — the
+   only inputs the compiler reads.  A sweep that varies off-chip bandwidth
+   (or any other simulation-only parameter) therefore reuses one compiled
+   program across all its points.
+2. **simulate-blocks** — run each instruction block independently through
+   :class:`~repro.sim.executor.BitFusionSimulator` into a serializable
+   :class:`~repro.sim.results.LayerResult`, keyed by the block fingerprint
+   plus the simulation-affecting configuration (:func:`block_cache_key`).
+   Blocks whose cycle/energy inputs are unchanged are never re-simulated.
+3. **compose** — assemble the per-block results into a
+   :class:`~repro.sim.results.NetworkResult`
+   (:func:`~repro.sim.results.compose_network_result`).  Composition is
+   pure, so a result composed from cached artifacts is byte-identical to a
+   fresh monolithic simulation.
+
+Baseline platforms (Eyeriss, Stripes, GPUs, the temporal design) have no
+compile stage; they run as a single simulate step and cache whole results.
+
+The module-level functions are picklable so a ``ProcessPoolExecutor`` can
+ship workloads to worker processes; workers return a
+:class:`WorkloadOutcome` carrying both the result and the staged artifacts,
+which the session stores into its cache in the main process.
 """
 
 from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
 
 from repro.baselines.base import AcceleratorModel
 from repro.baselines.eyeriss import EyerissModel
@@ -15,12 +43,29 @@ from repro.baselines.gpu import GpuModel, GpuPrecision
 from repro.baselines.stripes import StripesModel
 from repro.baselines.temporal import TemporalAcceleratorModel
 from repro.core.accelerator import BitFusionAccelerator
+from repro.core.config import BitFusionConfig
+from repro.fingerprint import fingerprint_payload
 from repro.isa.compiler import FusionCompiler
-from repro.session.cache import ProgramStats
-from repro.session.workload import Workload, load_network
-from repro.sim.results import NetworkResult
+from repro.isa.program import Program
+from repro.session.cache import CacheStats, ProgramStats, ResultCache
+from repro.session.workload import Workload, load_network, network_digest
+from repro.sim.executor import BitFusionSimulator
+from repro.sim.results import LayerResult, NetworkResult, compose_network_result
 
-__all__ = ["build_model", "execute_workload", "compile_workload"]
+__all__ = [
+    "StagedArtifacts",
+    "WorkloadOutcome",
+    "build_model",
+    "block_cache_key",
+    "compile_program",
+    "compile_workload",
+    "execute_workload",
+    "execute_workload_cached",
+    "execute_workload_outcome",
+    "obtain_program",
+    "program_cache_key",
+    "try_compose_from_cache",
+]
 
 
 def build_model(workload: Workload) -> AcceleratorModel | BitFusionAccelerator:
@@ -46,29 +91,246 @@ def build_model(workload: Workload) -> AcceleratorModel | BitFusionAccelerator:
 
 
 def execute_workload(workload: Workload) -> NetworkResult:
-    """Run one workload end to end (network load, model build, simulate)."""
+    """Run one workload end to end through the monolithic ``evaluate`` path.
+
+    This is the uncached reference implementation the staged pipeline is
+    checked against: for every workload, the staged result must be
+    byte-identical to this one.
+    """
     network = load_network(workload)
     model = build_model(workload)
     return model.evaluate(network, batch_size=workload.batch_size)
 
 
-def compile_workload(workload: Workload) -> ProgramStats:
-    """Compile a Bit Fusion workload and distill its program statistics."""
+# ---------------------------------------------------------------------- #
+# Stage 1: compile
+# ---------------------------------------------------------------------- #
+def _require_bitfusion(workload: Workload) -> None:
     if workload.platform != "bitfusion":
         raise ValueError(
             f"only bitfusion workloads compile to Fusion-ISA programs, got {workload.platform!r}"
         )
+
+
+def compile_program(workload: Workload) -> Program:
+    """Compile a Bit Fusion workload to its Fusion-ISA program (stage 1)."""
+    _require_bitfusion(workload)
     compiler = FusionCompiler(
         workload.config,
         enable_loop_ordering=workload.enable_loop_ordering,
         enable_layer_fusion=workload.enable_layer_fusion,
     )
-    network = load_network(workload)
-    program = compiler.compile(network, batch_size=workload.batch_size)
-    counts = tuple(len(compiled.block) for compiled in program)
-    return ProgramStats(
-        network_name=network.name,
-        block_instruction_counts=counts,
-        total_instructions=program.total_instructions(),
-        binary_bytes=program.total_binary_bytes(),
+    return compiler.compile(load_network(workload), batch_size=workload.batch_size)
+
+
+def compile_workload(workload: Workload) -> ProgramStats:
+    """Compile a Bit Fusion workload and distill its program statistics."""
+    return ProgramStats.from_program(compile_program(workload))
+
+
+def program_cache_key(workload: Workload) -> str:
+    """Structure-only cache key of the compile stage.
+
+    Hashes exactly the inputs the compiler reads — the network structure,
+    the batch size (the batch folds into the GEMM ``R`` dimension and hence
+    the tiling), the scratchpad capacities the tiling search targets, and
+    the optimization flags.  Deliberately *excluded*: off-chip bandwidth,
+    array geometry, technology node, frequency and the configuration name —
+    none of them affect the emitted program, so workloads differing only in
+    those share one compiled artifact.
+    """
+    _require_bitfusion(workload)
+    config: BitFusionConfig = workload.config
+    return fingerprint_payload(
+        {
+            "artifact": "program",
+            "network": network_digest(workload),
+            "batch_size": workload.batch_size,
+            "buffers": {
+                "ibuf_kb": config.ibuf_kb,
+                "wbuf_kb": config.wbuf_kb,
+                "obuf_kb": config.obuf_kb,
+            },
+            "compiler": {
+                "enable_loop_ordering": workload.enable_loop_ordering,
+                "enable_layer_fusion": workload.enable_layer_fusion,
+            },
+        }
+    )
+
+
+def obtain_program(
+    workload: Workload, cache: ResultCache, stats: CacheStats
+) -> tuple[Program, str]:
+    """The workload's compiled program, from cache when possible.
+
+    Returns the program and the source it came from (``"memory"``,
+    ``"disk"`` or ``"miss"`` for a fresh compilation, which is stored back
+    into the cache).
+    """
+    key = program_cache_key(workload)
+    value, source = cache.get_with_source(key)
+    if value is not None:
+        stats.programs.record_hit(source)
+        return value, source
+    stats.programs.record_miss()
+    program = compile_program(workload)
+    cache.put(key, program, {**workload.describe(), "artifact": "program"})
+    return program, "miss"
+
+
+# ---------------------------------------------------------------------- #
+# Stage 2: simulate-blocks
+# ---------------------------------------------------------------------- #
+def _sim_config_payload(config: BitFusionConfig) -> dict[str, Any]:
+    """The configuration parameters that affect one block's simulation.
+
+    Everything :meth:`~repro.sim.executor.BitFusionSimulator.run_block`
+    reads: array geometry (cycle model and buffer-traffic counts),
+    scratchpad capacities and access width (SRAM energy), off-chip bandwidth
+    (transfer cycles) and technology node (energy scaling).  Deliberately
+    excluded: frequency and the configuration name (composition metadata
+    only) and the batch size (already folded into the block's tiling).
+    """
+    return {
+        "rows": config.rows,
+        "columns": config.columns,
+        "ibuf_kb": config.ibuf_kb,
+        "wbuf_kb": config.wbuf_kb,
+        "obuf_kb": config.obuf_kb,
+        "dram_bandwidth_bits_per_cycle": config.dram_bandwidth_bits_per_cycle,
+        "buffer_access_bits": config.buffer_access_bits,
+        "technology": asdict(config.technology),
+    }
+
+
+def block_cache_key(block_fingerprint: str, config: BitFusionConfig) -> str:
+    """Cache key of one simulated block: block content + sim-affecting config."""
+    return fingerprint_payload(
+        {
+            "artifact": "block",
+            "block": block_fingerprint,
+            "sim": _sim_config_payload(config),
+        }
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Stage 3: compose, and the staged drivers
+# ---------------------------------------------------------------------- #
+def _compose(workload: Workload, program: Program, layers: list[LayerResult]) -> NetworkResult:
+    config: BitFusionConfig = workload.config
+    return compose_network_result(
+        network_name=program.network_name,
+        platform=config.name,
+        batch_size=workload.batch_size,
+        frequency_mhz=config.frequency_mhz,
+        layers=layers,
+    )
+
+
+def try_compose_from_cache(
+    workload: Workload, cache: ResultCache, stats: CacheStats
+) -> tuple[NetworkResult | None, bool]:
+    """Compose a workload's result purely from cached artifacts, if possible.
+
+    Returns ``(result, any_artifact_came_from_disk)``; ``(None, False)``
+    when the program or any block result is missing (in which case no stage
+    counters are touched — the execution path will look the artifacts up
+    again and account for them).
+    """
+    if workload.platform != "bitfusion":
+        return None, False
+    program, program_source = cache.get_with_source(program_cache_key(workload))
+    if program is None:
+        return None, False
+    found: list[tuple[LayerResult, str]] = []
+    for compiled in program:
+        key = block_cache_key(compiled.fingerprint(), workload.config)
+        value, source = cache.get_with_source(key)
+        if value is None:
+            return None, False
+        found.append((value, source))
+    stats.programs.record_hit(program_source)
+    from_disk = program_source == "disk"
+    for _, source in found:
+        stats.blocks.record_hit(source)
+        from_disk = from_disk or source == "disk"
+    return _compose(workload, program, [layer for layer, _ in found]), from_disk
+
+
+def execute_workload_cached(
+    workload: Workload, cache: ResultCache, stats: CacheStats
+) -> NetworkResult:
+    """Run one workload through the staged pipeline with per-stage caching.
+
+    Bit Fusion workloads reuse the cached program and every cached block
+    result, simulating only the blocks that are genuinely missing; baseline
+    platforms fall through to the monolithic path (their whole results are
+    cached at the workload level by the session).
+    """
+    if workload.platform != "bitfusion":
+        return execute_workload(workload)
+    program, _ = obtain_program(workload, cache, stats)
+    simulator: BitFusionSimulator | None = None
+    layers: list[LayerResult] = []
+    for compiled in program:
+        key = block_cache_key(compiled.fingerprint(), workload.config)
+        value, source = cache.get_with_source(key)
+        if value is None:
+            stats.blocks.record_miss()
+            if simulator is None:
+                simulator = BitFusionSimulator(workload.config)
+            value = simulator.run_block(compiled)
+            cache.put(
+                key, value, {**workload.describe(), "artifact": "block", "block": compiled.name}
+            )
+        else:
+            stats.blocks.record_hit(source)
+        layers.append(value)
+    return _compose(workload, program, layers)
+
+
+@dataclass(frozen=True)
+class StagedArtifacts:
+    """The cacheable artifacts one staged execution produced."""
+
+    program_key: str
+    program: Program
+    block_keys: tuple[str, ...]
+    layers: tuple[LayerResult, ...]
+
+
+@dataclass(frozen=True)
+class WorkloadOutcome:
+    """A worker's return value: the result plus any staged artifacts."""
+
+    result: NetworkResult
+    artifacts: StagedArtifacts | None
+
+
+def execute_workload_outcome(workload: Workload) -> WorkloadOutcome:
+    """Run one workload and return its result together with its artifacts.
+
+    This is the function process-pool workers execute: it is cache-free
+    (worker processes share no state), but it hands every intermediate
+    artifact back so the session can populate its two-level cache exactly
+    as an in-process staged execution would.
+    """
+    if workload.platform != "bitfusion":
+        return WorkloadOutcome(result=execute_workload(workload), artifacts=None)
+    program = compile_program(workload)
+    simulator = BitFusionSimulator(workload.config)
+    layers = tuple(simulator.run_blocks(program))
+    block_keys = tuple(
+        block_cache_key(compiled.fingerprint(), workload.config) for compiled in program
+    )
+    return WorkloadOutcome(
+        result=_compose(workload, program, list(layers)),
+        artifacts=StagedArtifacts(
+            program_key=program_cache_key(workload),
+            program=program,
+            block_keys=block_keys,
+            layers=layers,
+        ),
     )

@@ -28,8 +28,15 @@ from typing import Iterable, Iterator
 
 from repro.core.config import BitFusionConfig
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
-from repro.session.engine import compile_workload, execute_workload
-from repro.session.workload import Workload
+from repro.session.engine import (
+    WorkloadOutcome,
+    compile_program,
+    execute_workload_cached,
+    execute_workload_outcome,
+    program_cache_key,
+    try_compose_from_cache,
+)
+from repro.session.workload import Workload, estimated_cost
 from repro.sim.results import NetworkResult
 
 __all__ = [
@@ -113,11 +120,14 @@ class EvaluationSession:
         workload order either way, so parallel runs are byte-identical to
         serial ones.
     cache_dir:
-        Optional directory for the persistent JSON result store; ``None``
+        Optional directory for the persistent JSON artifact store; ``None``
         keeps the cache in memory only.
     cache:
         Pre-built :class:`ResultCache` to share between sessions (mutually
         exclusive with ``cache_dir``).
+    max_cache_bytes:
+        Optional size budget for the on-disk store (least-recently-used
+        entries are evicted past it); only meaningful with ``cache_dir``.
     """
 
     def __init__(
@@ -125,21 +135,29 @@ class EvaluationSession:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         cache: ResultCache | None = None,
+        max_cache_bytes: int | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
+        if cache is not None and max_cache_bytes is not None:
+            raise ValueError("max_cache_bytes only applies when the session owns its cache")
         self.jobs = jobs
-        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.cache = cache if cache is not None else ResultCache(cache_dir, max_cache_bytes)
         self.stats = CacheStats()
         self._pool: ProcessPoolExecutor | None = None
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; the cache is untouched)."""
+        """Shut down the worker pool and flush pending cache bookkeeping.
+
+        Idempotent; cached entries themselves are untouched (only batched
+        manifest recency updates are written out).
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        self.cache.flush()
 
     def __enter__(self) -> "EvaluationSession":
         return self
@@ -157,10 +175,14 @@ class EvaluationSession:
     def run_many(self, workloads: Iterable[Workload]) -> list[NetworkResult]:
         """Run a batch of workloads, in input order.
 
-        The batch is deduplicated by fingerprint and checked against the
-        cache; only genuinely new workloads are simulated (in parallel when
-        the session has more than one job).  Each unique workload is
-        simulated at most once per session lifetime.
+        The batch is deduplicated by fingerprint and resolved against the
+        cache in three steps: whole results from memory, Bit Fusion results
+        composed from cached program/block artifacts, and only then fresh
+        execution.  Genuinely new workloads are scheduled longest-job-first
+        (estimated by network MAC count x batch size) so a process pool's
+        tail is as short as possible, and results are returned in input
+        order either way — parallel runs are byte-identical to serial ones.
+        Each unique workload is simulated at most once per session lifetime.
         """
         ordered = list(workloads)
         keys = [workload.fingerprint() for workload in ordered]
@@ -176,43 +198,113 @@ class EvaluationSession:
                 if source == "disk":
                     self.stats.disk_hits += 1
                 resolved[key] = value
-            else:
-                self.stats.misses += 1
-                pending[key] = workload
+                continue
+            composed, from_disk = try_compose_from_cache(workload, self.cache, self.stats)
+            if composed is not None:
+                self.stats.hits += 1
+                if from_disk:
+                    self.stats.disk_hits += 1
+                # Memoize the composition (memory-only: its per-block
+                # artifacts already live on disk) so repeat lookups skip
+                # the artifact walk.
+                self.cache.put(key, composed, workload.describe(), persist=False)
+                resolved[key] = composed
+                continue
+            self.stats.misses += 1
+            pending[key] = workload
         if pending:
-            items = list(pending.items())
-            fresh = self._execute_batch([workload for _, workload in items])
-            for (key, workload), result in zip(items, fresh):
+            # Longest job first: the costliest simulations start earliest so
+            # pool workers never idle behind one giant network queued last.
+            # sorted() is stable, so equal-cost workloads keep input order
+            # and the schedule stays deterministic.
+            items = sorted(
+                pending.items(), key=lambda item: estimated_cost(item[1]), reverse=True
+            )
+            outcomes = self._execute_batch([workload for _, workload in items])
+            for (key, workload), outcome in zip(items, outcomes):
                 self.stats.record_execution(key)
-                self.cache.put(key, result, workload.describe())
-                resolved[key] = result
+                self._store_outcome(key, workload, outcome)
+                resolved[key] = outcome.result
+            # One manifest write per executed batch, not one per artifact.
+            self.cache.flush()
         return [resolved[key] for key in keys]
 
-    def _execute_batch(self, workloads: list[Workload]) -> list[NetworkResult]:
+    def _execute_batch(self, workloads: list[Workload]) -> list[WorkloadOutcome]:
         if self.jobs > 1 and len(workloads) > 1:
             # The pool is created once per session and reused across batches
             # so workers pay the interpreter/import start-up cost only once.
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-            return list(self._pool.map(execute_workload, workloads))
-        return [execute_workload(workload) for workload in workloads]
+            return list(self._pool.map(execute_workload_outcome, workloads))
+        # Inline execution goes through the cache-aware staged pipeline so a
+        # partially warm cache still skips every unchanged stage; artifacts
+        # are stored as they are produced, hence no artifacts to hand back.
+        return [
+            WorkloadOutcome(
+                result=execute_workload_cached(workload, self.cache, self.stats),
+                artifacts=None,
+            )
+            for workload in workloads
+        ]
+
+    def _store_outcome(self, key: str, workload: Workload, outcome: WorkloadOutcome) -> None:
+        """Store a fresh result (and any staged artifacts) into the cache.
+
+        Pool workers compute their artifacts without access to the shared
+        cache, so two workloads sharing a program key both ship a compiled
+        program back; the lookup-before-put below deduplicates them and
+        keeps the reported stage statistics identical to a serial run.
+        """
+        artifacts = outcome.artifacts
+        if artifacts is not None:
+            value, source = self.cache.get_with_source(artifacts.program_key)
+            if value is not None:
+                self.stats.programs.record_hit(source)
+            else:
+                self.stats.programs.record_miss()
+                self.cache.put(
+                    artifacts.program_key,
+                    artifacts.program,
+                    {**workload.describe(), "artifact": "program"},
+                )
+            for block_key, layer in zip(artifacts.block_keys, artifacts.layers):
+                existing, block_source = self.cache.get_with_source(block_key)
+                if existing is not None:
+                    self.stats.blocks.record_hit(block_source)
+                else:
+                    self.stats.blocks.record_miss()
+                    self.cache.put(
+                        block_key, layer, {**workload.describe(), "artifact": "block"}
+                    )
+        # Bit Fusion results are compositions of on-disk artifacts, so the
+        # composed record itself stays memory-only; baseline platforms cache
+        # their whole result (it is their only artifact).
+        persist = workload.platform != "bitfusion"
+        self.cache.put(key, outcome.result, workload.describe(), persist=persist)
 
     def compile_stats(self, workload: Workload) -> ProgramStats:
-        """Compile a Bit Fusion workload (cached) and return program stats."""
-        # '-program' (not ':') keeps the key a valid filename on Windows,
-        # where the on-disk cache stores one '<key>.json' per entry.
-        key = f"{workload.fingerprint()}-program"
+        """Compile a Bit Fusion workload (cached) and return program stats.
+
+        The statistics are derived from the program-level artifact cache —
+        the same compiled programs the simulation pipeline uses — so a
+        report that already simulated a benchmark never recompiles it just
+        to count instructions.
+        """
+        key = program_cache_key(workload)
         value, source = self.cache.get_with_source(key)
         if value is not None:
             self.stats.hits += 1
             if source == "disk":
                 self.stats.disk_hits += 1
-            return value
+            self.stats.programs.record_hit(source)
+            return ProgramStats.from_program(value)
         self.stats.misses += 1
-        stats = compile_workload(workload)
+        self.stats.programs.record_miss()
+        program = compile_program(workload)
         self.stats.record_execution(key)
-        self.cache.put(key, stats, workload.describe())
-        return stats
+        self.cache.put(key, program, {**workload.describe(), "artifact": "program"})
+        self.cache.flush()
+        return ProgramStats.from_program(program)
 
     # ------------------------------------------------------------------ #
     # Declarative sweeps

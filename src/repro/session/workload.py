@@ -26,7 +26,14 @@ from repro.core.config import BitFusionConfig
 from repro.dnn import models
 from repro.dnn.network import Network
 
-__all__ = ["Workload", "PLATFORMS", "fixed_bitwidth_network", "load_network"]
+__all__ = [
+    "Workload",
+    "PLATFORMS",
+    "fixed_bitwidth_network",
+    "load_network",
+    "network_digest",
+    "estimated_cost",
+]
 
 #: Platform identifiers the session knows how to build models for.
 PLATFORMS = ("bitfusion", "eyeriss", "stripes", "gpu", "temporal")
@@ -35,6 +42,9 @@ PLATFORMS = ("bitfusion", "eyeriss", "stripes", "gpu", "temporal")
 #: fixed_bits).  The model zoo is static at runtime, so rebuilding and
 #: re-hashing the same network for every cache lookup would be pure waste.
 _NETWORK_DIGESTS: dict[tuple[str, str, int | None], str] = {}
+
+#: Memoized per-sample MAC counts, same key, for job-size estimation.
+_NETWORK_MACS: dict[tuple[str, str, int | None], int] = {}
 
 
 def fixed_bitwidth_network(network: Network, bits: int = 8) -> Network:
@@ -230,13 +240,10 @@ class Workload:
         :meth:`repro.dnn.network.Network.fingerprint`), so a change to the
         model zoo invalidates cached results for the affected benchmark.
         """
-        digest_key = (self.network, self.variant, self.fixed_bits)
-        if digest_key not in _NETWORK_DIGESTS:
-            _NETWORK_DIGESTS[digest_key] = load_network(self).fingerprint()
         payload: dict[str, Any] = {
             "platform": self.platform,
             "network": self.network,
-            "network_fingerprint": _NETWORK_DIGESTS[digest_key],
+            "network_fingerprint": network_digest(self),
             "batch_size": self.batch_size,
             "variant": self.variant,
             "fixed_bits": self.fixed_bits,
@@ -275,3 +282,29 @@ def load_network(workload: Workload) -> Network:
     if workload.fixed_bits is not None:
         network = fixed_bitwidth_network(network, workload.fixed_bits)
     return network
+
+
+def network_digest(workload: Workload) -> str:
+    """Structure fingerprint of the network a workload resolves to (memoized).
+
+    Both the workload fingerprint and the compile-stage cache key hash this
+    digest, so they can never disagree about what "the same network" means.
+    """
+    digest_key = (workload.network, workload.variant, workload.fixed_bits)
+    if digest_key not in _NETWORK_DIGESTS:
+        _NETWORK_DIGESTS[digest_key] = load_network(workload).fingerprint()
+    return _NETWORK_DIGESTS[digest_key]
+
+
+def estimated_cost(workload: Workload) -> int:
+    """Rough simulation-cost estimate: network MAC count x batch size.
+
+    The estimate only needs to *rank* jobs: :meth:`EvaluationSession.run_many
+    <repro.session.session.EvaluationSession.run_many>` schedules uncached
+    workloads longest-job-first so a process pool is never left waiting on
+    one giant network scheduled last (the classic long-tail of wide sweeps).
+    """
+    macs_key = (workload.network, workload.variant, workload.fixed_bits)
+    if macs_key not in _NETWORK_MACS:
+        _NETWORK_MACS[macs_key] = load_network(workload).total_macs()
+    return _NETWORK_MACS[macs_key] * workload.batch_size

@@ -38,7 +38,12 @@ from repro.energy.dram import DramEnergyModel
 from repro.isa.compiler import FusionCompiler
 from repro.isa.program import CompiledBlock, Program
 from repro.sim.cycle_model import GemmCycleModel
-from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
+from repro.sim.results import (
+    LayerResult,
+    MemoryTraffic,
+    NetworkResult,
+    compose_network_result,
+)
 
 __all__ = ["BitFusionSimulator", "simulate_network"]
 
@@ -193,16 +198,25 @@ class BitFusionSimulator:
     # ------------------------------------------------------------------ #
     # Program / network execution
     # ------------------------------------------------------------------ #
+    def run_blocks(self, program: Program) -> list[LayerResult]:
+        """Simulate every block of a program independently (pipeline stage 2).
+
+        Each block's result depends only on the block itself and the
+        simulation-affecting configuration parameters, never on neighbouring
+        blocks — which is what lets the evaluation session cache and reuse
+        per-block results individually.
+        """
+        return [self.run_block(block) for block in program]
+
     def run_program(self, program: Program, batch_size: int | None = None) -> NetworkResult:
-        """Simulate a compiled program and aggregate the per-block results."""
+        """Simulate a compiled program and compose the per-block results."""
         batch = self.config.batch_size if batch_size is None else batch_size
-        layers = tuple(self.run_block(block) for block in program)
-        return NetworkResult(
+        return compose_network_result(
             network_name=program.network_name,
             platform=self.config.name,
             batch_size=batch,
             frequency_mhz=self.config.frequency_mhz,
-            layers=layers,
+            layers=self.run_blocks(program),
         )
 
     def run_network(

@@ -13,11 +13,19 @@ and energy ratios uniformly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
 
 from repro.energy.breakdown import EnergyBreakdown
 
-__all__ = ["MemoryTraffic", "LayerResult", "NetworkResult"]
+__all__ = [
+    "MemoryTraffic",
+    "LayerResult",
+    "NetworkResult",
+    "layer_result_to_dict",
+    "layer_result_from_dict",
+    "compose_network_result",
+]
 
 
 @dataclass(frozen=True)
@@ -264,3 +272,57 @@ class NetworkResult:
             f"{self.energy_per_inference_j * 1e3:.3f} mJ/inference"
         )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Per-layer serialization and result composition (pipeline stage 3)
+# ---------------------------------------------------------------------- #
+def layer_result_to_dict(layer: LayerResult) -> dict[str, Any]:
+    """Serialize one layer result to a JSON-compatible dictionary.
+
+    Every field is an int, float or string and Python's JSON round-trips
+    floats exactly, so an entry read back from disk is bit-identical to the
+    freshly simulated result.  This is the unit the staged pipeline caches:
+    one payload per simulated instruction block.
+    """
+    return asdict(layer)
+
+
+def layer_result_from_dict(payload: dict[str, Any]) -> LayerResult:
+    """Rebuild a layer result from :func:`layer_result_to_dict` output."""
+    return LayerResult(
+        name=payload["name"],
+        macs=payload["macs"],
+        input_bits=payload["input_bits"],
+        weight_bits=payload["weight_bits"],
+        compute_cycles=payload["compute_cycles"],
+        memory_cycles=payload["memory_cycles"],
+        overhead_cycles=payload["overhead_cycles"],
+        traffic=MemoryTraffic(**payload["traffic"]),
+        energy=EnergyBreakdown(**payload["energy"]),
+        utilization=payload["utilization"],
+    )
+
+
+def compose_network_result(
+    network_name: str,
+    platform: str,
+    batch_size: int,
+    frequency_mhz: float,
+    layers: Iterable[LayerResult],
+) -> NetworkResult:
+    """Compose per-block/per-layer results into one :class:`NetworkResult`.
+
+    This is the final stage of the compile → simulate-blocks → compose
+    pipeline and the single constructor every platform model routes through:
+    the per-layer records may come from a fresh simulation, from the
+    per-block artifact cache, or from a mix of both — composition is pure,
+    so the result is byte-identical either way.
+    """
+    return NetworkResult(
+        network_name=network_name,
+        platform=platform,
+        batch_size=batch_size,
+        frequency_mhz=frequency_mhz,
+        layers=tuple(layers),
+    )

@@ -1,0 +1,253 @@
+"""Tests for the two-level artifact cache: manifest, eviction, warm sweeps.
+
+Covers the acceptance criteria of the staged-pipeline refactor:
+
+* a batch-size sweep (Figure 16) over a warm cache performs zero
+  recompilations and zero block simulations,
+* a repeated report against a persistent cache directory reports a 100%
+  program-cache hit rate in its footer (the CI smoke job greps for this),
+* the on-disk store carries a versioned ``manifest.json`` and enforces an
+  LRU size budget, and
+* ``run_many`` schedules uncached workloads longest-job-first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.harness.experiments import fig16_batch
+from repro.harness.runner import build_report
+from repro.session import EvaluationSession, ResultCache, Workload, estimated_cost
+from repro.session.cache import MANIFEST_SCHEMA_VERSION, ProgramStats
+from repro.session.workload import load_network
+
+
+def _stats(tag: str) -> ProgramStats:
+    return ProgramStats(
+        network_name=f"net-{tag}",
+        block_instruction_counts=(10, 20, 30),
+        total_instructions=60,
+        binary_bytes=240,
+    )
+
+
+def _entry_stems(tmp_path) -> set[str]:
+    return {p.stem for p in tmp_path.glob("*.json")} - {"manifest"}
+
+
+class TestManifest:
+    def test_manifest_written_with_schema_version_and_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("alpha", _stats("a"))
+        cache.put("beta", _stats("b"))
+        cache.flush()  # manifest updates are batched; flush makes them visible
+        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert set(manifest["entries"]) == {"alpha", "beta"}
+        for entry in manifest["entries"].values():
+            assert entry["kind"] == "program_stats"
+            assert entry["bytes"] > 0
+            assert entry["seq"] > 0
+
+    def test_missing_manifest_is_rebuilt_from_entry_files(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put("alpha", _stats("a"))
+        first.flush()
+        (tmp_path / "manifest.json").unlink()
+        second = ResultCache(tmp_path)
+        assert second.get("alpha") == _stats("a")
+        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
+        assert set(manifest["entries"]) == {"alpha"}
+
+    def test_stale_schema_version_triggers_rebuild(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put("alpha", _stats("a"))
+        first.flush()
+        manifest_path = tmp_path / "manifest.json"
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        payload["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        payload["entries"] = {"ghost": {"kind": "x", "bytes": 1, "seq": 1}}
+        manifest_path.write_text(json.dumps(payload), encoding="utf-8")
+        second = ResultCache(tmp_path)
+        assert second.get("alpha") == _stats("a")
+        rebuilt = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert rebuilt["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert set(rebuilt["entries"]) == {"alpha"}
+
+    def test_malformed_manifest_entry_values_trigger_rebuild(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put("alpha", _stats("a"))
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(
+            json.dumps({"schema_version": MANIFEST_SCHEMA_VERSION, "entries": {"abc": 5}}),
+            encoding="utf-8",
+        )
+        second = ResultCache(tmp_path)  # must rebuild, not crash
+        assert second.get("alpha") == _stats("a")
+        rebuilt = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert set(rebuilt["entries"]) == {"alpha"}
+
+    def test_invalid_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_read_only_cache_dir_still_serves_entries(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.put("alpha", _stats("a"))
+        writer.flush()
+        # Force the next open to attempt a manifest rebuild, then make the
+        # directory read-only: reads must degrade gracefully, not crash.
+        (tmp_path / "manifest.json").unlink()
+        os.chmod(tmp_path, 0o555)
+        try:
+            reader = ResultCache(tmp_path)
+            assert reader.get("alpha") == _stats("a")
+            reader.flush()  # no pending write must escape as an error either
+            # A miss that computes fresh data keeps it memory-only instead
+            # of crashing on the unwritable entry file.
+            reader.put("beta", _stats("b"))
+            assert reader.get("beta") == _stats("b")
+        finally:
+            os.chmod(tmp_path, 0o755)
+
+    def test_non_numeric_manifest_fields_trigger_rebuild(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put("alpha", _stats("a"))
+        first.flush()
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(
+            json.dumps(
+                {
+                    "schema_version": MANIFEST_SCHEMA_VERSION,
+                    "entries": {"alpha": {"kind": "x", "bytes": 1, "seq": "oops"}},
+                }
+            ),
+            encoding="utf-8",
+        )
+        second = ResultCache(tmp_path)  # must rebuild, not crash
+        assert second.get("alpha") == _stats("a")
+
+
+class TestLruEviction:
+    def test_size_budget_evicts_oldest_entries(self, tmp_path):
+        probe = ResultCache(tmp_path)
+        probe.put("probe", _stats("p"))
+        probe.flush()
+        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
+        entry_bytes = manifest["entries"]["probe"]["bytes"]
+        (tmp_path / "probe.json").unlink()
+        (tmp_path / "manifest.json").unlink()
+
+        # Budget for roughly two entries; writing four must keep it bounded.
+        cache = ResultCache(tmp_path, max_bytes=int(entry_bytes * 2.5))
+        for index in range(4):
+            cache.put(f"key{index}", _stats(str(index)))
+        cache.flush()
+        stems = _entry_stems(tmp_path)
+        assert "key3" in stems  # the newest entry always survives
+        assert "key0" not in stems  # the oldest went first
+        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
+        assert set(manifest["entries"]) == stems
+        total = sum(entry["bytes"] for entry in manifest["entries"].values())
+        assert total <= int(entry_bytes * 2.5)
+
+    def test_recently_read_entries_survive_eviction(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        for index in range(3):
+            writer.put(f"key{index}", _stats(str(index)))
+        writer.flush()
+        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
+        total = sum(entry["bytes"] for entry in manifest["entries"].values())
+
+        reader = ResultCache(tmp_path, max_bytes=total)
+        assert reader.get("key0") is not None  # touch: key0 becomes most recent
+        reader.put("key3", _stats("3"))  # over budget: evict LRU, now key1
+        stems = _entry_stems(tmp_path)
+        assert "key0" in stems
+        assert "key3" in stems
+        assert "key1" not in stems
+
+    def test_eviction_drops_disk_entry_not_correctness(self, tmp_path):
+        workload = Workload.bitfusion("LeNet-5", batch_size=2)
+        with EvaluationSession(cache_dir=tmp_path, max_cache_bytes=1024) as tight:
+            first = tight.run(workload)
+            # Everything may have been evicted; a rerun must still be correct.
+            tight.cache.clear_memory()
+            second = tight.run(workload)
+        assert first.total_cycles == second.total_cycles
+        assert first.energy.total == second.energy.total
+
+
+class TestWarmSweeps:
+    def test_fig16_batch_sweep_over_warm_cache_recompiles_nothing(self, tmp_path):
+        benchmarks = ("LeNet-5",)
+        sizes = (1, 4, 16)
+        with EvaluationSession(cache_dir=tmp_path) as warm_up:
+            fig16_batch.run(batch_sizes=sizes, benchmarks=benchmarks, session=warm_up)
+        assert warm_up.stats.programs.misses == len(sizes)
+
+        with EvaluationSession(cache_dir=tmp_path) as warm:
+            rows = fig16_batch.run(batch_sizes=sizes, benchmarks=benchmarks, session=warm)
+        # Zero recompilations, zero block simulations: every artifact whose
+        # cycle/energy inputs are unchanged came from the cache.
+        assert warm.stats.programs.misses == 0
+        assert warm.stats.blocks.misses == 0
+        assert warm.stats.misses == 0
+        assert warm.stats.unique_executions == 0
+        assert warm.stats.programs.hits == len(sizes)
+        assert rows and rows[0].speedup_by_batch[1] == 1.0
+
+    def test_bandwidth_sweep_compiles_one_program_even_cold(self):
+        session = EvaluationSession()
+        session.sweep(["LeNet-5"], bandwidths=(64, 128, 256, 512))
+        assert session.stats.programs.misses == 1
+        assert session.stats.programs.hits == 3
+        # Bandwidth changes every block's memory cycles, so blocks re-run.
+        assert session.stats.blocks.hits == 0
+
+    def test_second_report_over_cache_dir_reports_full_program_hits(self, tmp_path):
+        keys = ["fig16", "isa"]
+        benchmarks = ("LeNet-5",)
+        build_report(keys=keys, benchmarks=benchmarks, cache_dir=str(tmp_path))
+        report = build_report(keys=keys, benchmarks=benchmarks, cache_dir=str(tmp_path))
+        match = re.search(
+            r"program cache: (\d+) hits \((\d+) from disk\), (\d+) compiles "
+            r"\(hit rate (\d+)%\)",
+            report,
+        )
+        assert match is not None, report
+        hits, disk_hits, compiles, rate = map(int, match.groups())
+        assert hits > 0
+        assert compiles == 0
+        assert rate == 100
+        assert "block cache:" in report and "0 block simulations" in report
+
+
+class TestLongestJobFirst:
+    def test_estimated_cost_scales_with_network_and_batch(self):
+        small = Workload.bitfusion("LeNet-5", batch_size=1)
+        bigger_batch = Workload.bitfusion("LeNet-5", batch_size=64)
+        big_network = Workload.bitfusion("AlexNet", batch_size=1)
+        assert estimated_cost(bigger_batch) == 64 * estimated_cost(small)
+        assert estimated_cost(big_network) > estimated_cost(small)
+        macs = load_network(small).total_macs()
+        assert estimated_cost(small) == macs
+
+    def test_run_many_result_order_is_input_order_despite_scheduling(self):
+        workloads = [
+            Workload.bitfusion("LeNet-5", batch_size=1),
+            Workload.bitfusion("AlexNet", batch_size=4),
+            Workload.bitfusion("LSTM", batch_size=2),
+        ]
+        results = EvaluationSession().run_many(workloads)
+        for workload, result in zip(workloads, results):
+            assert result.batch_size == workload.batch_size
+        # Input order is preserved even though AlexNet (the longest job by
+        # MAC count x batch) was scheduled first internally.
+        assert [r.network_name for r in results] == [
+            load_network(w).name for w in workloads
+        ]

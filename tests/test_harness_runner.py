@@ -12,8 +12,15 @@ class TestRunExperiments:
         keys = {spec.key for spec in EXPERIMENTS}
         assert keys == {
             "fig01", "tab02", "tab03", "fig10", "fig13", "fig14",
-            "fig15", "fig16", "fig17", "fig18", "isa", "ablations",
+            "fig15", "fig16", "fig17", "fig18", "temporal", "isa", "ablations",
         }
+
+    def test_temporal_experiment_runs_whole_networks(self):
+        results = run_experiments(keys=["temporal"], benchmarks=("LeNet-5",))
+        _, rendered, _ = results[0]
+        assert "temporal" in rendered.lower()
+        assert "LeNet-5" in rendered
+        assert "geomean speedup" in rendered
 
     def test_run_single_experiment(self):
         results = run_experiments(keys=["fig01"])

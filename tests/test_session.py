@@ -27,6 +27,8 @@ from repro.session import (
     EvaluationSession,
     ResultCache,
     Workload,
+    block_cache_key,
+    compile_program,
     execute_workload,
     fixed_bitwidth_network,
     load_network,
@@ -156,21 +158,38 @@ class TestResultCache:
         with pytest.raises(TypeError):
             cache.put("key", object())
 
-    def test_corrupted_disk_entry_is_a_miss_and_gets_rewritten(self, tmp_path):
+    def test_corrupted_block_artifact_is_a_miss_and_gets_rewritten(self, tmp_path):
         workload = Workload.bitfusion("LeNet-5", batch_size=4)
         with EvaluationSession(cache_dir=tmp_path) as first:
             fresh = first.run(workload)
-        entry = tmp_path / f"{workload.fingerprint()}.json"
-        entry.write_text("not json", encoding="utf-8")
+        program = compile_program(workload)
+        corrupted = block_cache_key(program[0].fingerprint(), workload.config)
+        (tmp_path / f"{corrupted}.json").write_text("not json", encoding="utf-8")
         with EvaluationSession(cache_dir=tmp_path) as second:
             recovered = second.run(workload)
         assert second.stats.misses == 1
         assert second.stats.unique_executions == 1
+        # Only the corrupted block was re-simulated; the compiled program and
+        # every other block result came straight from disk.
+        assert second.stats.programs.misses == 0
+        assert second.stats.blocks.misses == 1
+        assert second.stats.blocks.hits == len(program) - 1
         assert network_result_to_dict(recovered) == network_result_to_dict(fresh)
         # The fresh simulation repaired the on-disk entry.
         with EvaluationSession(cache_dir=tmp_path) as third:
             third.run(workload)
             assert third.stats.disk_hits == 1
+            assert third.stats.unique_executions == 0
+
+    def test_corrupted_manifest_is_rebuilt_not_fatal(self, tmp_path):
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        with EvaluationSession(cache_dir=tmp_path) as first:
+            fresh = first.run(workload)
+        (tmp_path / "manifest.json").write_text("garbage", encoding="utf-8")
+        with EvaluationSession(cache_dir=tmp_path) as second:
+            restored = second.run(workload)
+        assert second.stats.unique_executions == 0
+        assert network_result_to_dict(restored) == network_result_to_dict(fresh)
 
     def test_program_stats_disk_round_trip(self, tmp_path):
         workload = Workload.bitfusion("LeNet-5")
