@@ -111,6 +111,17 @@ class BitFusionAccelerator:
         """Peak throughput at the given operand bitwidths (GOPS)."""
         return self.config.peak_throughput_gops(input_bits, weight_bits)
 
+    def area_mm2(self) -> float:
+        """Silicon area of this instance (compute array + SRAM), in mm².
+
+        Scaled to the configuration's technology node; this is the area
+        objective design-space sweeps (:mod:`repro.dse`) trade against
+        latency and energy.
+        """
+        from repro.energy.components import accelerator_area_mm2
+
+        return accelerator_area_mm2(self.config)
+
     def describe(self) -> str:
         """One-paragraph description of the configured accelerator."""
         cfg = self.config

@@ -74,6 +74,25 @@ class TechnologyNode:
             name="65nm", feature_nm=65.0, voltage_scale=1.1, capacitance_scale=1.4
         )
 
+    @staticmethod
+    def by_name(name: str) -> "TechnologyNode":
+        """Look up one of the paper's nodes by name (``"45nm"``/``"16nm"``/``"65nm"``).
+
+        This is the string form design-space sweep specifications use for
+        their technology axis; unknown names raise with the valid choices.
+        """
+        nodes = {
+            "45nm": TechnologyNode.nm45,
+            "16nm": TechnologyNode.nm16,
+            "65nm": TechnologyNode.nm65,
+        }
+        try:
+            return nodes[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown technology node {name!r}; expected one of {sorted(nodes)}"
+            ) from None
+
 
 @dataclass(frozen=True)
 class BitFusionConfig:
@@ -254,3 +273,39 @@ class BitFusionConfig:
     def with_batch_size(self, batch_size: int) -> "BitFusionConfig":
         """Copy of this configuration with a different batch size."""
         return replace(self, batch_size=batch_size)
+
+    # ------------------------------------------------------------------ #
+    # Design-space variation points
+    # ------------------------------------------------------------------ #
+    # Each returns a validated copy varying one axis of the design space;
+    # the repro.dse sweep engine composes them to expand a SweepSpec into
+    # concrete configurations.
+    def with_array(self, rows: int, columns: int) -> "BitFusionConfig":
+        """Copy of this configuration with a different systolic-array geometry."""
+        return replace(self, rows=rows, columns=columns)
+
+    def with_buffers(
+        self, ibuf_kb: float, wbuf_kb: float, obuf_kb: float
+    ) -> "BitFusionConfig":
+        """Copy of this configuration with different scratchpad capacities.
+
+        Buffer capacities are compile-affecting (the tiling search targets
+        them), so workloads varied along this axis compile distinct
+        programs — unlike the bandwidth/technology/array axes.
+        """
+        return replace(self, ibuf_kb=ibuf_kb, wbuf_kb=wbuf_kb, obuf_kb=obuf_kb)
+
+    def with_technology(self, technology: "TechnologyNode | str") -> "BitFusionConfig":
+        """Copy of this configuration at a different process node.
+
+        Accepts a :class:`TechnologyNode` or one of the paper's node names
+        (``"45nm"``/``"16nm"``/``"65nm"``).  Technology only affects energy
+        and area scaling, never the compiled program.
+        """
+        if isinstance(technology, str):
+            technology = TechnologyNode.by_name(technology)
+        return replace(self, technology=technology)
+
+    def with_frequency(self, frequency_mhz: float) -> "BitFusionConfig":
+        """Copy of this configuration at a different operating frequency."""
+        return replace(self, frequency_mhz=frequency_mhz)

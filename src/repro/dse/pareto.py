@@ -1,0 +1,89 @@
+"""Pareto-frontier extraction over design-space objectives.
+
+The BitFusion paper's 16x16, 8-bit-fused configuration is the outcome of a
+design-space exploration trading performance against energy and silicon
+area; this module provides the reduction step of that exploration.  All
+objectives are *minimized* (latency per inference, energy per inference,
+area), and the frontier is the set of points no other point dominates.
+
+The core routine works on plain objective vectors so it can be tested on
+synthetic points independently of any simulation, and preserves input
+order so frontiers are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["OBJECTIVES", "Objective", "dominates", "pareto_indices", "pareto_front"]
+
+T = TypeVar("T")
+
+
+class Objective:
+    """One minimized metric: a name, a display unit and an extractor."""
+
+    def __init__(
+        self, name: str, unit: str, column: str, extract: Callable[..., float]
+    ) -> None:
+        self.name = name
+        self.unit = unit
+        #: Column header used in sweep tables.
+        self.column = column
+        self.extract = extract
+
+
+#: Registry of the objectives a sweep spec may minimize.  Extractors take
+#: an :class:`repro.dse.runner.EvaluatedPoint`.
+OBJECTIVES: dict[str, Objective] = {
+    "latency": Objective(
+        "latency", "ms/inf", "latency (ms)", lambda point: point.latency_ms
+    ),
+    "energy": Objective(
+        "energy", "mJ/inf", "energy (mJ)", lambda point: point.energy_mj
+    ),
+    "area": Objective("area", "mm2", "area (mm2)", lambda point: point.area_mm2),
+}
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` when it is no worse on every objective and
+    strictly better on at least one (all objectives minimized).  Equal
+    vectors do not dominate each other, so duplicated design points both
+    survive onto the frontier.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated vectors, in input order.
+
+    Quadratic in the number of points, which is fine at design-space scale
+    (tens to a few thousand points); the win is that the result is exact
+    and deterministic.
+    """
+    frontier: list[int] = []
+    for i, candidate in enumerate(vectors):
+        if not any(
+            dominates(other, candidate) for j, other in enumerate(vectors) if j != i
+        ):
+            frontier.append(i)
+    return frontier
+
+
+def pareto_front(
+    items: Sequence[T], objectives: Sequence[Callable[[T], float]]
+) -> list[T]:
+    """The non-dominated subset of ``items`` under the given objectives.
+
+    ``objectives`` are extractor callables returning the minimized value of
+    one metric; input order is preserved.
+    """
+    if not objectives:
+        raise ValueError("pareto_front needs at least one objective")
+    vectors = [tuple(objective(item) for objective in objectives) for item in items]
+    return [items[i] for i in pareto_indices(vectors)]

@@ -1,0 +1,42 @@
+"""Rendering of design-space sweep results as report sections.
+
+One formatting path serves both surfaces: the ``python -m repro.harness
+sweep`` subcommand prints :func:`format_sweep_report` (grid + frontier +
+objective summary), and the full report's ``dse`` section embeds the same
+tables for its built-in exploration.
+"""
+
+from __future__ import annotations
+
+from repro.dse.pareto import OBJECTIVES
+from repro.dse.runner import DesignSpaceResult
+from repro.harness.reporting import format_table
+
+__all__ = ["format_sweep_report", "format_pareto_table"]
+
+
+def format_pareto_table(result: DesignSpaceResult) -> str:
+    """The Pareto frontier as an aligned table (per-network frontiers)."""
+    objectives = ", ".join(
+        f"{OBJECTIVES[name].name} ({OBJECTIVES[name].unit})"
+        for name in result.spec.objectives
+    )
+    return format_table(
+        result.pareto_rows(),
+        title=f"Pareto frontier minimizing {objectives}",
+    )
+
+
+def format_sweep_report(result: DesignSpaceResult) -> str:
+    """Full sweep report: grid summary, every point, and the frontier."""
+    frontier = result.pareto()
+    sections = [
+        result.spec.describe(),
+        "",
+        format_table(result.rows(), title="Design-space grid (* = Pareto-optimal)"),
+        "",
+        format_pareto_table(result),
+        "",
+        f"{len(frontier)} of {len(result)} design points are Pareto-optimal.",
+    ]
+    return "\n".join(sections)

@@ -18,13 +18,14 @@ analytical models:
 """
 
 from repro.energy.breakdown import EnergyBreakdown
-from repro.energy.cacti import SramEnergyModel, sram_access_energy_pj
+from repro.energy.cacti import SramEnergyModel, sram_access_energy_pj, sram_area_mm2
 from repro.energy.components import (
     ComputeEnergyModel,
     FUSION_UNIT_AREA_UM2,
     TEMPORAL_UNIT_AREA_UM2,
     FUSION_UNIT_POWER_NW,
     TEMPORAL_UNIT_POWER_NW,
+    accelerator_area_mm2,
     fusion_unit_area_breakdown,
     temporal_unit_area_breakdown,
 )
@@ -34,6 +35,8 @@ __all__ = [
     "EnergyBreakdown",
     "SramEnergyModel",
     "sram_access_energy_pj",
+    "sram_area_mm2",
+    "accelerator_area_mm2",
     "ComputeEnergyModel",
     "DramEnergyModel",
     "FUSION_UNIT_AREA_UM2",

@@ -23,6 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import sqrt
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config imports nothing here)
+    from repro.core.config import TechnologyNode
 
 __all__ = ["SramEnergyModel", "sram_access_energy_pj", "sram_area_mm2"]
 
@@ -49,11 +53,22 @@ def sram_access_energy_pj(capacity_kb: float, bits_per_access: int) -> float:
     return per_bit * bits_per_access
 
 
-def sram_area_mm2(capacity_kb: float) -> float:
-    """Silicon area of an SRAM array at 45 nm, in mm²."""
+def sram_area_mm2(
+    capacity_kb: float, technology: "TechnologyNode | None" = None
+) -> float:
+    """Silicon area of an SRAM array, in mm².
+
+    Reported at the 45 nm reference node by default; passing a
+    :class:`~repro.core.config.TechnologyNode` scales the array by its
+    :attr:`~repro.core.config.TechnologyNode.area_scale` (the node-scaling
+    hook the design-space area objective uses).
+    """
     if capacity_kb <= 0:
         raise ValueError(f"SRAM capacity must be positive, got {capacity_kb}")
-    return _AREA_MM2_PER_KB * capacity_kb
+    area = _AREA_MM2_PER_KB * capacity_kb
+    if technology is not None:
+        area *= technology.area_scale
+    return area
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import TechnologyNode
+from repro.core.config import BitFusionConfig, TechnologyNode
 from repro.core.fusion_unit import BITBRICKS_PER_FUSION_UNIT, FusionConfig
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "fusion_unit_power_breakdown",
     "temporal_unit_power_breakdown",
     "ComputeEnergyModel",
+    "accelerator_area_mm2",
 ]
 
 # --------------------------------------------------------------------------- #
@@ -172,3 +173,20 @@ class ComputeEnergyModel:
     def fusion_units_per_mm2(self) -> float:
         """Fusion Units that fit in 1 mm² of compute area at this node."""
         return 1.0 / self.fusion_unit_area_mm2()
+
+
+def accelerator_area_mm2(config: "BitFusionConfig") -> float:
+    """Silicon area of a configured Bit Fusion instance, in mm².
+
+    Compute area (Fusion Units at the synthesis-anchored Figure 10 figure)
+    plus on-chip SRAM (the CACTI-inspired density model), both scaled to the
+    configuration's technology node.  This is the area objective the
+    design-space Pareto frontier trades against performance and energy;
+    interconnect and pad overheads are outside the model, so treat the
+    number as a comparison metric rather than a floorplan.
+    """
+    from repro.energy.cacti import sram_area_mm2
+
+    compute = config.fusion_units * ComputeEnergyModel(config.technology).fusion_unit_area_mm2()
+    sram = sram_area_mm2(config.total_sram_kb, config.technology)
+    return compute + sram

@@ -7,6 +7,7 @@ under ``benchmarks/`` wraps these runners in ``pytest-benchmark`` fixtures.
 
 from repro.harness.experiments import (
     ablations,
+    dse_explore,
     fig01_bitwidths,
     fig10_fusion_unit,
     fig13_eyeriss,
@@ -23,6 +24,7 @@ from repro.harness.experiments import (
 
 __all__ = [
     "ablations",
+    "dse_explore",
     "fig01_bitwidths",
     "fig10_fusion_unit",
     "fig13_eyeriss",

@@ -7,6 +7,13 @@ The benchmark suite under ``benchmarks/`` exercises the same runners through
 ``pytest-benchmark``; this module exists for users who want a single
 command-line entry point and a saveable report.
 
+Two further entry points share the same session machinery: ``python -m
+repro.harness sweep SPEC`` runs a declarative multi-axis design-space sweep
+(:mod:`repro.dse`) from a JSON/YAML spec file and reports its Pareto
+frontier, and ``--cache-info`` summarizes a ``--cache-dir``'s contents
+(entry counts and bytes per artifact kind, from ``manifest.json``) without
+running anything.  ``docs/cli.md`` is the full command-line reference.
+
 Every report is backed by one :class:`repro.session.EvaluationSession` — the
 shared, cached workload engine under ``src/repro/session/``.  Experiments
 declare (platform config, network, batch, compiler-flags) workloads and the
@@ -34,6 +41,7 @@ from repro import __version__
 from repro.dnn import models
 from repro.harness.experiments import (
     ablations,
+    dse_explore,
     fig01_bitwidths,
     fig10_fusion_unit,
     fig13_eyeriss,
@@ -48,9 +56,18 @@ from repro.harness.experiments import (
     temporal_network,
 )
 from repro.harness.reporting import format_table
-from repro.session import EvaluationSession, resolve_session, use_session
+from repro.session import EvaluationSession, ResultCache, resolve_session, use_session
 
-__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiments", "build_report", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "run_experiments",
+    "build_report",
+    "build_sweep_report",
+    "format_cache_info",
+    "main",
+    "sweep_main",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +139,10 @@ def _render_temporal(benchmarks):
     return temporal_network.format_table(temporal_network.run(benchmarks=benchmarks))
 
 
+def _render_dse(benchmarks):
+    return dse_explore.format_table(dse_explore.run(benchmarks=benchmarks))
+
+
 def _render_ablations(benchmarks):
     rows = ablations.run(benchmarks=benchmarks)
     summary = ablations.geomean_summary(rows)
@@ -149,6 +170,11 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
     ),
     ExperimentSpec("isa", "Section IV - ISA block statistics", _render_isa),
     ExperimentSpec("ablations", "Ablations of the design mechanisms", _render_ablations),
+    ExperimentSpec(
+        "dse",
+        "Design-space exploration - array x technology Pareto frontier",
+        _render_dse,
+    ),
 )
 
 _EXPERIMENTS_BY_KEY = {spec.key: spec for spec in EXPERIMENTS}
@@ -225,25 +251,180 @@ def build_report(
     sections.append("## Evaluation session statistics")
     sections.append("")
     sections.append("```")
-    sections.append(session.stats.summary())
-    if session.cache.cache_dir is not None:
-        sections.append(f"persistent cache: {session.cache.cache_dir}")
-        if session.cache.max_bytes is not None:
-            sections.append(
-                f"cache size budget: {session.cache.max_bytes / (1024 * 1024):.1f} MB (LRU)"
-            )
-    if session.jobs > 1:
-        sections.append(f"worker processes: {session.jobs}")
+    sections.extend(_session_footer(session))
     sections.append("```")
     sections.append("")
     return "\n".join(sections)
 
 
+def _session_footer(session: EvaluationSession) -> list[str]:
+    """The per-stage cache statistics footer shared by reports and sweeps.
+
+    CI greps these lines to assert 100% program-cache hits on warm re-runs,
+    so the report and the ``sweep`` subcommand must emit the same format.
+    """
+    lines = [session.stats.summary()]
+    if session.cache.cache_dir is not None:
+        lines.append(f"persistent cache: {session.cache.cache_dir}")
+        if session.cache.max_bytes is not None:
+            lines.append(
+                f"cache size budget: {session.cache.max_bytes / (1024 * 1024):.1f} MB (LRU)"
+            )
+    if session.jobs > 1:
+        lines.append(f"worker processes: {session.jobs}")
+    return lines
+
+
+# ---------------------------------------------------------------------- #
+# Design-space sweeps (``python -m repro.harness sweep SPEC``)
+# ---------------------------------------------------------------------- #
+def build_sweep_report(
+    spec_path: str,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    max_cache_bytes: int | None = None,
+    session: EvaluationSession | None = None,
+) -> str:
+    """Run one spec-file sweep and render its report (grid + Pareto + stats)."""
+    # Imported here so `python -m repro.harness --list` stays import-light.
+    from repro.dse import SweepSpec, format_sweep_report, run_sweep
+
+    spec = SweepSpec.from_file(spec_path)
+    owns_session = session is None
+    if session is None:
+        session = EvaluationSession(
+            jobs=jobs, cache_dir=cache_dir, max_cache_bytes=max_cache_bytes
+        )
+    try:
+        result = run_sweep(spec, session)
+    finally:
+        if owns_session:
+            session.close()
+    sections = [
+        "# Bit Fusion design-space sweep",
+        "",
+        f"_repro {__version__} — spec: {spec_path}_",
+        "",
+        "```",
+        format_sweep_report(result),
+        "```",
+        "",
+        "## Evaluation session statistics",
+        "",
+        "```",
+        *_session_footer(session),
+        "```",
+        "",
+    ]
+    return "\n".join(sections)
+
+
+def sweep_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``sweep`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness sweep",
+        description="Run a declarative multi-axis design-space sweep from a "
+        "JSON (or YAML) spec file and report its Pareto frontier. "
+        "See docs/sweeps.md for the spec schema.",
+    )
+    parser.add_argument("spec", metavar="SPEC", help="path to the sweep spec (.json/.yaml)")
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the sweep report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for uncached simulations (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persist compiled programs and per-block simulation results "
+        "under PATH and reuse them across invocations",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size budget for the on-disk cache (requires --cache-dir)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    max_cache_bytes = None
+    if args.cache_max_mb is not None:
+        if args.cache_dir is None:
+            parser.error("--cache-max-mb requires --cache-dir")
+        if args.cache_max_mb <= 0:
+            parser.error(f"--cache-max-mb must be positive, got {args.cache_max_mb}")
+        max_cache_bytes = int(args.cache_max_mb * 1024 * 1024)
+    try:
+        report = build_sweep_report(
+            args.spec,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            max_cache_bytes=max_cache_bytes,
+        )
+    except (OSError, RuntimeError, ValueError) as error:
+        parser.error(str(error))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote sweep report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Cache introspection (``--cache-info``)
+# ---------------------------------------------------------------------- #
+def format_cache_info(cache_dir: str) -> str:
+    """Summarize a cache directory: entries and bytes per artifact kind.
+
+    The numbers come straight from the directory's ``manifest.json`` index
+    (rebuilt from the entry files if missing or stale), so the output always
+    matches what the manifest records.  A path that is not an existing
+    directory is an error: introspection must never create the directory a
+    mistyped ``--cache-dir`` points at.
+    """
+    from pathlib import Path
+
+    if not Path(cache_dir).is_dir():
+        raise ValueError(f"cache directory {cache_dir!r} does not exist")
+    cache = ResultCache(cache_dir)
+    summary = cache.entry_summary()
+    lines = [f"cache directory: {cache.cache_dir}"]
+    if not summary:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    total_entries = sum(bucket["entries"] for bucket in summary.values())
+    total_bytes = sum(bucket["bytes"] for bucket in summary.values())
+    for kind in sorted(summary):
+        bucket = summary[kind]
+        lines.append(
+            f"{kind}: {bucket['entries']} entries, {bucket['bytes'] / 1024:.1f} KiB"
+        )
+    lines.append(f"total: {total_entries} entries, {total_bytes / 1024:.1f} KiB")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Command-line entry point (``python -m repro.harness``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
-        description="Regenerate the Bit Fusion paper's tables and figures.",
+        description="Regenerate the Bit Fusion paper's tables and figures. "
+        "Design-space sweeps run via the 'sweep' subcommand: "
+        "python -m repro.harness sweep SPEC [options] "
+        "(full reference: docs/cli.md).",
     )
     parser.add_argument(
         "--experiments",
@@ -288,11 +469,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="list the available experiments and exit",
     )
+    parser.add_argument(
+        "--cache-info",
+        action="store_true",
+        help="summarize the --cache-dir contents (entries and bytes per "
+        "artifact kind, from manifest.json) and exit without running anything",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for spec in EXPERIMENTS:
             print(f"{spec.key:10s} {spec.description}")
+        return 0
+
+    if args.cache_info:
+        if args.cache_dir is None:
+            parser.error("--cache-info requires --cache-dir")
+        try:
+            print(format_cache_info(args.cache_dir))
+        except ValueError as error:
+            parser.error(str(error))
         return 0
 
     if args.jobs < 1:

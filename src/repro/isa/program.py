@@ -99,7 +99,20 @@ class CompiledBlock:
 
 
 class Program:
-    """The ordered list of compiled blocks for one network."""
+    """The ordered list of compiled blocks for one network.
+
+    A program is the unit the compile stage of the evaluation pipeline
+    caches.  Its identity is purely content-based: :meth:`fingerprint`
+    hashes the serialized payload of every block (instructions through the
+    Table I binary encoding, plus layer, tiling, loop order and fusion
+    metadata), so two compilations that emit identical code collapse onto
+    one cache entry, and any compiler change that alters the emitted code
+    automatically invalidates cached programs.  Note the *cache key* the
+    session stores programs under is not this fingerprint but the
+    structure-only :func:`~repro.session.engine.program_cache_key` over the
+    compiler's inputs — the program fingerprint identifies what came out,
+    the cache key what went in.
+    """
 
     def __init__(self, network_name: str, blocks: Sequence[CompiledBlock] = ()) -> None:
         if not network_name:

@@ -17,9 +17,34 @@ comparison routes through:
   ``run_many`` (process-pool parallel, longest-job-first) / declarative
   ``sweep`` execution with per-stage cache-hit accounting.
 
+Cache keys and invalidation
+---------------------------
+Three fingerprint families key the cache, each hashing exactly the inputs
+that determine its artifact — so invalidation is automatic: change an
+input and the key changes, leaving the stale entry unreferenced (and
+eventually LRU-evicted from disk).
+
+* **Workload key** (:meth:`Workload.fingerprint
+  <repro.session.workload.Workload.fingerprint>`): platform, resolved
+  network *structure*, batch size, variant/bitwidth transforms, the full
+  platform configuration and the compiler flags.  Anything that could
+  change a result changes this key.
+* **Program key** (:func:`~repro.session.engine.program_cache_key`):
+  *structure-only* — network structure, batch size, scratchpad capacities
+  and compiler flags, the only inputs the compiler reads.  Bandwidth,
+  array geometry, frequency and technology node are deliberately excluded,
+  so sweeps along those axes reuse one compiled program.
+* **Block key** (:func:`~repro.session.engine.block_cache_key`): the
+  block's content fingerprint plus the simulation-affecting configuration
+  (array geometry, buffer capacities and access width, bandwidth,
+  technology node).  Frequency and the configuration name are excluded —
+  they only affect composition metadata.
+
 See ``python -m repro.harness --help`` for the report runner built on top
 (``--jobs``, ``--cache-dir`` and ``--cache-max-mb`` map directly onto a
-session).
+session), ``python -m repro.harness sweep`` / :mod:`repro.dse` for
+declarative design-space sweeps over the same cache, and
+``docs/architecture.md`` for the full pipeline walkthrough.
 """
 
 from repro.session.cache import CacheStats, ProgramStats, ResultCache, StageStats

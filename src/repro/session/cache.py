@@ -487,3 +487,22 @@ class ResultCache:
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries, if any, survive)."""
         self._memory.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def entry_summary(self) -> dict[str, dict[str, int]]:
+        """Per-kind entry counts and byte totals of the on-disk store.
+
+        Aggregated straight from the manifest index (``manifest.json``), so
+        the numbers are exactly what the manifest records; a memory-only
+        cache returns an empty mapping.  This is what ``python -m
+        repro.harness --cache-info`` reports.
+        """
+        summary: dict[str, dict[str, int]] = {}
+        for entry in self._manifest.values():
+            kind = str(entry.get("kind", "unknown"))
+            bucket = summary.setdefault(kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += int(entry.get("bytes", 0))
+        return summary

@@ -179,10 +179,12 @@ class EvaluationSession:
         cache in three steps: whole results from memory, Bit Fusion results
         composed from cached program/block artifacts, and only then fresh
         execution.  Genuinely new workloads are scheduled longest-job-first
-        (estimated by network MAC count x batch size) so a process pool's
-        tail is as short as possible, and results are returned in input
-        order either way — parallel runs are byte-identical to serial ones.
-        Each unique workload is simulated at most once per session lifetime.
+        (estimated by network MAC count x batch size, ties broken by
+        workload fingerprint so the schedule never depends on input order)
+        so a process pool's tail is as short as possible, and results are
+        returned in input order either way — parallel runs are
+        byte-identical to serial ones.  Each unique workload is simulated at
+        most once per session lifetime.
         """
         ordered = list(workloads)
         keys = [workload.fingerprint() for workload in ordered]
@@ -215,10 +217,13 @@ class EvaluationSession:
         if pending:
             # Longest job first: the costliest simulations start earliest so
             # pool workers never idle behind one giant network queued last.
-            # sorted() is stable, so equal-cost workloads keep input order
-            # and the schedule stays deterministic.
+            # Equal-cost workloads tie-break on their (stable, content-based)
+            # fingerprint rather than input order, so the schedule is
+            # identical no matter how the calling experiments ordered their
+            # workloads — parallel sweep execution stays reproducible.
             items = sorted(
-                pending.items(), key=lambda item: estimated_cost(item[1]), reverse=True
+                pending.items(),
+                key=lambda item: (-estimated_cost(item[1]), item[0]),
             )
             outcomes = self._execute_batch([workload for _, workload in items])
             for (key, workload), outcome in zip(items, outcomes):

@@ -9,6 +9,16 @@ and energy ratios uniformly:
   (or one fused layer group) at one batch size.
 * :class:`NetworkResult` — the ordered layer results for one network on one
   platform, with aggregate latency / throughput / energy properties.
+
+Both records are frozen and serialize losslessly to JSON (ints, floats and
+strings only), which is what lets the evaluation session cache them:
+``LayerResult`` is the per-block artifact of the simulate stage, keyed by
+block fingerprint plus the simulation-affecting configuration (see
+:func:`repro.session.engine.block_cache_key`), and a cached record read
+back from disk is bit-identical to the freshly simulated one.  A cached
+layer result is invalidated only by its key changing — there is no epoch
+or timestamp scheme; if the block content or any simulation-affecting
+parameter changes, the old entry is simply never looked up again.
 """
 
 from __future__ import annotations
@@ -30,7 +40,15 @@ __all__ = [
 
 @dataclass(frozen=True)
 class MemoryTraffic:
-    """Bits moved per batch, split by memory structure."""
+    """Bits moved per batch, split by memory structure.
+
+    Traffic is counted at the point data crosses each structure's port:
+    DRAM reads/writes on the off-chip interface, one read per operand
+    delivered from the input/weight scratchpads, and reads plus writes on
+    the output buffer (partial sums travel both ways).  The energy model
+    charges each structure's per-bit cost against exactly these counts, so
+    the Figure 14 breakdown follows directly from this record.
+    """
 
     dram_read_bits: int = 0
     dram_write_bits: int = 0

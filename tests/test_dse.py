@@ -1,0 +1,234 @@
+"""Tests for the design-space exploration subsystem (repro.dse) and its CLI.
+
+Covered properties:
+
+* a SweepSpec expands to the full, deterministically ordered grid and each
+  axis lands on the right configuration/workload field,
+* Pareto extraction is exact on synthetic objective vectors (dominated
+  points dropped, ties and duplicates kept, input order preserved),
+* a sweep along non-compile axes (technology node) reuses one compiled
+  program for the whole grid,
+* equal-cost workloads schedule in a stable fingerprint order regardless
+  of input order, and
+* the ``sweep`` subcommand and ``--cache-info`` work end to end, with the
+  cache summary matching ``manifest.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dse import (
+    SweepSpec,
+    dominates,
+    format_sweep_report,
+    pareto_front,
+    pareto_indices,
+    run_sweep,
+)
+from repro.harness.runner import format_cache_info, main
+from repro.session import EvaluationSession, Workload
+
+
+def small_spec(**overrides):
+    payload = {
+        "name": "test sweep",
+        "networks": ["LeNet-5"],
+        "batch_sizes": [16],
+        "axes": {"technology": ["45nm", "16nm"]},
+    }
+    payload.update(overrides)
+    return SweepSpec.from_dict(payload)
+
+
+class TestSpecExpansion:
+    def test_grid_size_is_the_cartesian_product(self):
+        spec = small_spec(
+            networks=["LeNet-5", "LSTM"],
+            batch_sizes=[1, 16],
+            axes={"array": [[16, 16], [32, 16]], "technology": ["45nm", "16nm", "65nm"]},
+        )
+        assert spec.grid_size() == 2 * 2 * 2 * 3
+        points = spec.expand()
+        assert len(points) == spec.grid_size()
+
+    def test_expansion_is_deterministic_and_declaration_ordered(self):
+        spec = small_spec(axes={"bandwidth": [64, 128], "technology": ["45nm", "16nm"]})
+        first = [point.workload.fingerprint() for point in spec.expand()]
+        second = [point.workload.fingerprint() for point in spec.expand()]
+        assert first == second
+        assert spec.axis_names == ("bandwidth", "technology")
+        # The last axis varies fastest, like itertools.product.
+        settings = [dict(point.settings) for point in spec.expand()]
+        assert [s["technology"] for s in settings[:2]] == ["45nm", "16nm"]
+        assert settings[0]["bandwidth"] == settings[1]["bandwidth"] == 64
+
+    def test_axes_land_on_the_right_config_fields(self):
+        spec = small_spec(
+            axes={
+                "array": [[8, 4]],
+                "buffers": [[16, 32, 8]],
+                "technology": ["16nm"],
+                "bandwidth": [256],
+                "frequency": [250],
+                "fixed_bits": [8],
+                "loop_ordering": [False],
+            }
+        )
+        (point,) = spec.expand()
+        config = point.workload.config
+        assert (config.rows, config.columns) == (8, 4)
+        assert (config.ibuf_kb, config.wbuf_kb, config.obuf_kb) == (16, 32, 8)
+        assert config.technology.name == "16nm"
+        assert config.dram_bandwidth_bits_per_cycle == 256
+        assert config.frequency_mhz == 250
+        assert point.workload.fixed_bits == 8
+        assert point.workload.enable_loop_ordering is False
+        assert point.workload.enable_layer_fusion is True
+
+    def test_network_aliases_canonicalize(self):
+        spec = small_spec(networks=["lenet5"])
+        assert spec.expand()[0].network == "LeNet-5"
+
+    def test_unknown_axis_and_base_config_raise(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            small_spec(axes={"voltage": [1.0]})
+        with pytest.raises(ValueError, match="unknown base_config"):
+            small_spec(base_config="tpu")
+        with pytest.raises(ValueError, match="unknown sweep spec key"):
+            SweepSpec.from_dict({"networks": ["LeNet-5"], "axis": {}})
+
+    def test_from_file_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps({"networks": ["LeNet-5"], "axes": {"bandwidth": [64, 128]}}),
+            encoding="utf-8",
+        )
+        spec = SweepSpec.from_file(path)
+        assert spec.grid_size() == 2
+
+
+class TestPareto:
+    def test_dominated_points_are_dropped(self):
+        vectors = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0), (3.0, 0.5)]
+        assert pareto_indices(vectors) == [0, 2, 3]
+
+    def test_equal_vectors_both_survive(self):
+        vectors = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert pareto_indices(vectors) == [0, 1]
+
+    def test_single_objective_keeps_all_minima(self):
+        assert pareto_indices([(2.0,), (1.0,), (1.0,)]) == [1, 2]
+
+    def test_dominates_requires_strict_improvement_somewhere(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+        assert dominates((1.0, 0.5), (1.0, 1.0))
+        assert not dominates((0.5, 2.0), (1.0, 1.0))
+
+    def test_pareto_front_preserves_input_order(self):
+        items = [{"v": (3.0, 0.5)}, {"v": (1.0, 1.0)}, {"v": (2.0, 2.0)}]
+        front = pareto_front(items, [lambda item: item["v"][0], lambda item: item["v"][1]])
+        assert front == [items[0], items[1]]
+
+
+class TestSweepExecution:
+    def test_technology_sweep_compiles_each_network_once(self):
+        spec = small_spec(
+            axes={"array": [[16, 16], [32, 16]], "technology": ["45nm", "16nm"]}
+        )
+        with EvaluationSession() as session:
+            result = run_sweep(spec, session)
+        assert len(result) == 4
+        # Neither axis reaches the compiler: one compile for the whole grid.
+        assert session.stats.programs.misses == 1
+        assert session.stats.programs.hits == 3
+
+    def test_buffer_axis_compiles_per_value(self):
+        spec = small_spec(axes={"buffers": [[32, 64, 16], [16, 32, 8]]})
+        with EvaluationSession() as session:
+            run_sweep(spec, session)
+        assert session.stats.programs.misses == 2
+
+    def test_pareto_marks_match_report(self):
+        spec = small_spec()
+        with EvaluationSession() as session:
+            result = run_sweep(spec, session)
+        report = format_sweep_report(result)
+        assert "Pareto frontier" in report
+        frontier = result.pareto()
+        assert frontier  # at least one non-dominated point
+        starred = [row for row in result.rows() if row["pareto"] == "*"]
+        assert len(starred) == len(frontier)
+
+    def test_equal_cost_scheduling_is_input_order_independent(self):
+        # Same network and batch at two bandwidths: identical cost estimates,
+        # so only the fingerprint tiebreak fixes the execution schedule.
+        workloads = [
+            Workload.bitfusion("LeNet-5", batch_size=4),
+            Workload.bitfusion(
+                "LeNet-5",
+                batch_size=4,
+                config=Workload.bitfusion("LeNet-5", batch_size=4).config.with_bandwidth(256),
+            ),
+        ]
+        orders = []
+        for batch in (workloads, list(reversed(workloads))):
+            with EvaluationSession() as session:
+                session.run_many(batch)
+            # executions records keys in scheduled order.
+            orders.append(list(session.stats.executions))
+        assert orders[0] == orders[1]
+
+
+class TestCli:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli sweep",
+                    "networks": ["LeNet-5"],
+                    "axes": {"technology": ["45nm", "16nm"]},
+                }
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_sweep_subcommand_cold_then_warm(self, tmp_path, spec_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache_dir)]) == 0
+        cold = capsys.readouterr().out
+        assert "Pareto frontier" in cold
+        assert "design points" in cold
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert "0 compiles (hit rate 100%)" in warm
+        assert "0 block simulations (hit rate 100%)" in warm
+
+    def test_cache_info_matches_manifest(self, tmp_path, spec_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["--cache-info", "--cache-dir", str(cache_dir)]) == 0
+        info = capsys.readouterr().out
+        manifest = json.loads((cache_dir / "manifest.json").read_text(encoding="utf-8"))
+        kinds: dict[str, int] = {}
+        for entry in manifest["entries"].values():
+            kinds[entry["kind"]] = kinds.get(entry["kind"], 0) + 1
+        for kind, count in kinds.items():
+            assert f"{kind}: {count} entries" in info
+        assert f"total: {len(manifest['entries'])} entries" in info
+        # format_cache_info is the same path main() prints.
+        assert format_cache_info(str(cache_dir)) == info.strip()
+
+    def test_cache_info_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            main(["--cache-info"])
+
+    def test_sweep_rejects_missing_spec(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(tmp_path / "missing.json")])

@@ -13,6 +13,7 @@ class TestRunExperiments:
         assert keys == {
             "fig01", "tab02", "tab03", "fig10", "fig13", "fig14",
             "fig15", "fig16", "fig17", "fig18", "temporal", "isa", "ablations",
+            "dse",
         }
 
     def test_temporal_experiment_runs_whole_networks(self):
