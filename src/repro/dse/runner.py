@@ -144,8 +144,13 @@ def run_sweep(
     <repro.session.session.EvaluationSession.run_many>` in one batch, so
     duplicate points collapse onto one simulation, uncached points schedule
     longest-job-first across ``--jobs`` workers, and the per-stage artifact
-    cache (programs keyed structure-only) is shared with every other
-    experiment the session ran.
+    cache (programs keyed structure-only, blocks with a content-addressed
+    layer-level fallback) is shared with every other experiment the session
+    ran.  Parallel sweeps are warm-artifact aware: the main process compiles
+    centrally and ships workers only cache-missing blocks, and the session's
+    per-stage statistics (``session.stats``, rendered in the report footer)
+    include the worker-side reuse — work units dispatched, blocks simulated
+    remotely and blocks served from the cache instead.
     """
     points = spec.expand()
     results = resolve_session(session).run_many([point.workload for point in points])

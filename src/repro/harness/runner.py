@@ -20,13 +20,18 @@ declare (platform config, network, batch, compiler-flags) workloads and the
 session runs them through a staged compile → simulate-blocks → compose
 pipeline with a cacheable artifact at each seam, so a full report simulates
 each unique workload exactly once no matter how many figures need it, and
-finishes with per-stage cache statistics (workload, program and block hit
-counts).  ``--jobs N`` fans uncached workloads out over a process pool,
-scheduled longest-job-first (results are ordered deterministically, so
-parallel reports are byte-identical to serial ones); ``--cache-dir PATH``
-persists compiled programs and per-block results as JSON so later
-invocations skip recompilation and unchanged-block simulation entirely, and
-``--cache-max-mb`` bounds that directory with LRU eviction.
+finishes with per-stage cache statistics (workload, program, block and
+layer-dedup hit counts; parallel runs add the worker-side reuse — work
+units dispatched, blocks simulated remotely, blocks served from the
+cache).  ``--jobs N`` fans uncached workloads out over a process pool,
+scheduled longest-job-first, with compilation kept central and only
+cache-missing blocks shipped to workers (results are ordered
+deterministically, so parallel reports are byte-identical to serial ones
+and a partially-warm parallel run does no redundant work);
+``--cache-dir PATH`` persists compiled programs and per-block results as
+JSON so later invocations skip recompilation and unchanged-block
+simulation entirely, and ``--cache-max-mb`` bounds that directory with LRU
+eviction.
 """
 
 from __future__ import annotations
@@ -272,6 +277,10 @@ def _session_footer(session: EvaluationSession) -> list[str]:
             )
     if session.jobs > 1:
         lines.append(f"worker processes: {session.jobs}")
+        # Worker-side reuse: how much of the batch the cache-aware protocol
+        # kept off the pool (the CI parallel smoke job greps this line for
+        # "0 work units dispatched" on a warm re-run).
+        lines.append(session.stats.workers.summary())
     return lines
 
 

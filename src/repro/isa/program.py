@@ -97,6 +97,39 @@ class CompiledBlock:
         """
         return fingerprint_payload(self.to_dict())
 
+    def layer_content_dict(self) -> dict[str, Any]:
+        """The block's payload with every name stripped: pure layer content.
+
+        Block and layer names carry no simulation-affecting information —
+        they only label results — so this payload identifies *what the block
+        computes*: the binary instruction image, the layer shape and
+        bitwidths, the tiling plan and any fused follow-on layers.
+        """
+
+        def _nameless(layer: Layer) -> dict[str, Any]:
+            return {k: v for k, v in layer_to_dict(layer).items() if k != "name"}
+
+        return {
+            "image": self.block.to_dict()["image"],
+            "layer": _nameless(self.layer),
+            "tiling": self.tiling.fingerprint(),
+            "loop_order": self.loop_order.value,
+            "fused_layers": [_nameless(layer) for layer in self.fused_layers],
+        }
+
+    def layer_fingerprint(self) -> str:
+        """Name-free content hash: identical layers collapse across networks.
+
+        Unlike :meth:`fingerprint`, this digest ignores the block and layer
+        names, so the same (layer shape, bitwidths, tiling, instruction
+        image) appearing in two different networks — the model-family case —
+        hashes identically.  It is the basis of the content-addressed
+        *layer* level of the result cache
+        (:func:`repro.session.engine.layer_cache_key`); a simulated result
+        found through it is renamed to the requesting block before use.
+        """
+        return fingerprint_payload(self.layer_content_dict())
+
 
 class Program:
     """The ordered list of compiled blocks for one network.

@@ -33,6 +33,7 @@ from dataclasses import asdict, dataclass
 from math import ceil
 
 from repro.core.config import BitFusionConfig
+from repro.fingerprint import fingerprint_payload
 from repro.isa.instructions import LoopOrder
 
 __all__ = ["GemmWorkload", "TilingPlan", "plan_tiling", "tile_candidates"]
@@ -170,6 +171,17 @@ class TilingPlan:
             dram_output_write_bits=int(payload["dram_output_write_bits"]),  # type: ignore[arg-type]
             dram_output_read_bits=int(payload["dram_output_read_bits"]),  # type: ignore[arg-type]
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the plan (tile choice plus traffic totals).
+
+        Tiling plans carry no names — a plan is the same plan no matter
+        which network's layer produced it — so this digest is what lets the
+        content-addressed *layer* cache level recognize identical
+        (layer, tiling) pairs across different networks in a model-family
+        sweep.
+        """
+        return fingerprint_payload(self.to_dict())
 
     def with_output_store_bits(self, output_write_bits: int) -> "TilingPlan":
         """Copy of this plan with a different output-store traffic total.

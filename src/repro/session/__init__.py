@@ -39,6 +39,21 @@ eventually LRU-evicted from disk).
   (array geometry, buffer capacities and access width, bandwidth,
   technology node).  Frequency and the configuration name are excluded —
   they only affect composition metadata.
+* **Layer key** (:func:`~repro.session.engine.layer_cache_key`): the
+  block's *name-free* content fingerprint plus the same
+  simulation-affecting configuration.  Block-key lookups fall back to this
+  content-addressed level on a miss, so identical (layer, tiling) pairs
+  dedupe across different networks in model-family sweeps.
+
+Parallel execution (``jobs > 1``) is warm-artifact aware: the session
+compiles centrally through the program cache, resolves warm blocks in the
+main process, ships workers :class:`~repro.session.engine.WorkUnit`\\ s
+holding only the missing block indices, and composes the returned
+:class:`~repro.session.engine.WorkResult`\\ s — a partially-warm parallel
+run recompiles and re-simulates nothing the cache already holds, and a
+failed workload surfaces as a
+:class:`~repro.session.engine.WorkloadExecutionError` without costing the
+rest of the batch.
 
 See ``python -m repro.harness --help`` for the report runner built on top
 (``--jobs``, ``--cache-dir`` and ``--cache-max-mb`` map directly onto a
@@ -47,14 +62,25 @@ declarative design-space sweeps over the same cache, and
 ``docs/architecture.md`` for the full pipeline walkthrough.
 """
 
-from repro.session.cache import CacheStats, ProgramStats, ResultCache, StageStats
+from repro.session.cache import (
+    CacheStats,
+    ProgramStats,
+    ResultCache,
+    StageStats,
+    WorkerStats,
+)
 from repro.session.engine import (
+    WorkResult,
+    WorkUnit,
+    WorkloadExecutionError,
     block_cache_key,
     build_model,
     compile_program,
     compile_workload,
+    execute_work_unit,
     execute_workload,
     execute_workload_cached,
+    layer_cache_key,
     program_cache_key,
 )
 from repro.session.session import (
@@ -84,16 +110,22 @@ __all__ = [
     "StageStats",
     "SweepPoint",
     "SweepResult",
+    "WorkResult",
+    "WorkUnit",
+    "WorkerStats",
     "Workload",
+    "WorkloadExecutionError",
     "block_cache_key",
     "build_model",
     "compile_program",
     "compile_workload",
     "estimated_cost",
+    "execute_work_unit",
     "execute_workload",
     "execute_workload_cached",
     "fixed_bitwidth_network",
     "get_default_session",
+    "layer_cache_key",
     "load_network",
     "network_digest",
     "program_cache_key",

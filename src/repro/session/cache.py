@@ -12,6 +12,12 @@ fingerprint-keyed interface:
   :class:`~repro.sim.results.LayerResult`, keyed by the block fingerprint
   plus the simulation-affecting configuration, so unchanged blocks are never
   re-simulated;
+* ``layer`` — the same record stored *content-addressed*: keyed by the
+  name-free layer fingerprint (layer shape + bitwidths + tiling +
+  instruction image) plus the simulation-affecting configuration, with the
+  record's name normalized away.  Block-level lookups fall back to this
+  level on a miss, so identical layers dedupe across different networks in
+  model-family sweeps (the entry is renamed to the requesting block on use);
 * ``network_result`` — a full composed/simulated
   :class:`~repro.sim.results.NetworkResult` (the baselines' unit of work);
 * ``program_stats`` — lightweight instruction statistics (legacy kind,
@@ -55,6 +61,7 @@ from repro.sim.results import (
 __all__ = [
     "CacheStats",
     "StageStats",
+    "WorkerStats",
     "ProgramStats",
     "ResultCache",
     "MANIFEST_SCHEMA_VERSION",
@@ -63,7 +70,9 @@ __all__ = [
 ]
 
 #: Version of the on-disk manifest schema; a mismatch triggers a rebuild.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added the content-addressed ``layer`` entry kind (schema 1 manifests
+#: rebuild cleanly — entry payloads are unchanged and stay readable).
+MANIFEST_SCHEMA_VERSION = 2
 
 _MANIFEST_NAME = "manifest.json"
 
@@ -129,31 +138,63 @@ class StageStats:
 
 
 @dataclass
+class WorkerStats:
+    """Counters of the cache-aware parallel worker protocol.
+
+    ``units`` counts :class:`~repro.session.engine.WorkUnit`s dispatched to
+    pool workers, ``remote_blocks`` the blocks those units actually
+    simulated, and ``reused_blocks`` the blocks the main process resolved
+    from the artifact cache (or from another in-flight workload of the same
+    batch) instead of shipping — the waste the protocol exists to avoid.
+    """
+
+    units: int = 0
+    remote_blocks: int = 0
+    reused_blocks: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"parallel workers: {self.units} work units dispatched, "
+            f"{self.remote_blocks} blocks simulated remotely, "
+            f"{self.reused_blocks} blocks reused from cache"
+        )
+
+
+@dataclass
 class CacheStats:
     """Counters the session reports at the end of a run.
 
     Workload-level counters: ``hits`` counts lookups satisfied from memory,
     disk, or by composing cached per-block artifacts; ``misses`` lookups
-    that required fresh work; ``disk_hits`` is the subset of hits that
-    involved the on-disk store; ``unique_executions`` counts distinct
-    fingerprints that did fresh work this session (the acceptance criterion
-    is that no fingerprint is ever executed twice).
+    that required fresh work; ``deduped`` counts in-batch duplicates of a
+    workload whose execution was still pending (no cached value existed, so
+    they are deduplication wins rather than cache hits); ``disk_hits`` is
+    the subset of hits that involved the on-disk store;
+    ``unique_executions`` counts distinct fingerprints that did fresh work
+    this session (the acceptance criterion is that no fingerprint is ever
+    executed twice).
 
     Stage-level counters: ``programs`` tracks compile-stage cache traffic
-    (misses are compilations) and ``blocks`` tracks the simulate-blocks
-    stage (misses are per-block simulations).
+    (misses are compilations), ``blocks`` tracks block-key lookups of the
+    simulate-blocks stage (misses are per-block simulations) and ``layers``
+    tracks the content-addressed layer-level fallback consulted on every
+    block-key miss (hits are simulations avoided by cross-network layer
+    dedupe).  ``workers`` tracks the parallel worker protocol.
     """
 
     hits: int = 0
     misses: int = 0
+    deduped: int = 0
     disk_hits: int = 0
     executions: dict[str, int] = field(default_factory=dict)
     programs: StageStats = field(default_factory=StageStats)
     blocks: StageStats = field(default_factory=StageStats)
+    layers: StageStats = field(default_factory=StageStats)
+    workers: WorkerStats = field(default_factory=WorkerStats)
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.deduped
 
     @property
     def unique_executions(self) -> int:
@@ -161,7 +202,9 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Hits over genuine cache lookups (in-batch duplicates excluded)."""
+        consulted = self.hits + self.misses
+        return self.hits / consulted if consulted else 0.0
 
     def record_execution(self, key: str) -> None:
         self.executions[key] = self.executions.get(key, 0) + 1
@@ -174,11 +217,13 @@ class CacheStats:
         lines = [
             f"{self.lookups} workload lookups: {self.hits} cache hits "
             f"({self.disk_hits} from disk), {self.misses} misses, "
+            f"{self.deduped} in-batch duplicates deduped, "
             f"{self.unique_executions} unique executions "
             f"(hit rate {self.hit_rate:.0%})"
         ]
         lines.append(self.programs.summary("program cache", "compiles"))
         lines.append(self.blocks.summary("block cache", "block simulations"))
+        lines.append(self.layers.summary("layer dedup", "layer-key misses"))
         return "\n".join(lines)
 
 
@@ -223,6 +268,9 @@ def _program_stats_from_dict(payload: dict[str, Any]) -> ProgramStats:
 _SERIALIZERS = {
     "network_result": (network_result_to_dict, network_result_from_dict),
     "layer_result": (layer_result_to_dict, layer_result_from_dict),
+    # Content-addressed layer entries are LayerResults stored under a
+    # name-free key (and with a normalized name); the payload is identical.
+    "layer": (layer_result_to_dict, layer_result_from_dict),
     "program": (Program.to_dict, Program.from_dict),
     "program_stats": (_program_stats_to_dict, _program_stats_from_dict),
 }
@@ -411,6 +459,10 @@ class ResultCache:
     def get(self, key: str) -> Any | None:
         """Fetch an entry, promoting disk entries into memory. None on miss."""
         if key in self._memory:
+            # Memory hits must refresh disk recency too: the hottest entries
+            # are exactly the ones promoted into memory, and without the
+            # touch they would look LRU-coldest on disk and be evicted first.
+            self._touch(key)
             return self._memory[key]
         path = self._entry_path(key)
         if path is None:
@@ -430,6 +482,7 @@ class ResultCache:
     def get_with_source(self, key: str) -> tuple[Any | None, str]:
         """Like :meth:`get` but also reports ``"memory"``/``"disk"``/``"miss"``."""
         if key in self._memory:
+            self._touch(key)
             return self._memory[key], "memory"
         value = self.get(key)
         return value, ("disk" if value is not None else "miss")
@@ -440,6 +493,7 @@ class ResultCache:
         value: Any,
         description: dict[str, Any] | None = None,
         persist: bool = True,
+        kind: str | None = None,
     ) -> None:
         """Store an entry in memory and, when configured, on disk.
 
@@ -448,13 +502,21 @@ class ResultCache:
         network results whose per-block artifacts already live on disk
         (persisting the composition too would just duplicate them).
 
+        ``kind`` overrides the kind inferred from the value's type; the
+        engine uses it to store content-addressed ``layer`` entries, which
+        are ordinary :class:`~repro.sim.results.LayerResult` payloads filed
+        under a different kind than the block-keyed ``layer_result`` ones.
+
         The entry file itself is written immediately (and atomically);
         manifest updates are batched and land with the next eviction pass or
         :meth:`flush` (the session flushes after every executed batch and on
         close), so storing N artifacts costs N entry writes plus O(1)
         manifest rewrites instead of N.
         """
-        kind = _kind_of(value)
+        if kind is None:
+            kind = _kind_of(value)
+        elif kind not in _SERIALIZERS:
+            raise ValueError(f"unknown cache entry kind {kind!r}")
         self._memory[key] = value
         if self.cache_dir is not None and persist:
             serialize, _ = _SERIALIZERS[kind]

@@ -23,18 +23,36 @@ seam:
    pure, so a result composed from cached artifacts is byte-identical to a
    fresh monolithic simulation.
 
+The simulate stage resolves each block through **two cache levels**: the
+block key (:func:`block_cache_key`, block content fingerprint + sim config)
+and, on a miss, the content-addressed **layer key**
+(:func:`layer_cache_key`, the *name-free* layer fingerprint + sim config).
+The layer level is what dedupes identical (layer, tiling) pairs across
+different networks in model-family sweeps; a record found through it is
+renamed to the requesting block before use, so composition stays
+byte-identical.
+
 Baseline platforms (Eyeriss, Stripes, GPUs, the temporal design) have no
 compile stage; they run as a single simulate step and cache whole results.
 
-The module-level functions are picklable so a ``ProcessPoolExecutor`` can
-ship workloads to worker processes; workers return a
-:class:`WorkloadOutcome` carrying both the result and the staged artifacts,
-which the session stores into its cache in the main process.
+Parallel execution is **warm-artifact aware**.  The main process plans each
+uncached workload against the cache (:func:`plan_workload`): it compiles
+centrally through the program cache (structure-only keys, exactly-once per
+network), resolves every block whose result is already cached, and ships a
+worker a :class:`WorkUnit` carrying the serialized program plus only the
+indices of the genuinely missing blocks.  Workers
+(:func:`execute_work_unit`) simulate just those blocks and return
+:class:`WorkResult`\\ s; the main process stores the fresh records and
+composes (:func:`compose_plan`).  Worker failures never poison the pool
+batch: they come back as error strings carrying the workload's label, and
+:class:`~repro.session.session.EvaluationSession` raises a
+:class:`WorkloadExecutionError` only after every surviving result is
+stored.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any
 
 from repro.baselines.base import AcceleratorModel
@@ -46,23 +64,28 @@ from repro.core.accelerator import BitFusionAccelerator
 from repro.core.config import BitFusionConfig
 from repro.fingerprint import fingerprint_payload
 from repro.isa.compiler import FusionCompiler
-from repro.isa.program import Program
+from repro.isa.program import CompiledBlock, Program
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
 from repro.session.workload import Workload, load_network, network_digest
 from repro.sim.executor import BitFusionSimulator
 from repro.sim.results import LayerResult, NetworkResult, compose_network_result
 
 __all__ = [
-    "StagedArtifacts",
-    "WorkloadOutcome",
+    "WorkPlan",
+    "WorkResult",
+    "WorkUnit",
+    "WorkloadExecutionError",
     "build_model",
     "block_cache_key",
     "compile_program",
     "compile_workload",
+    "compose_plan",
+    "execute_work_unit",
     "execute_workload",
     "execute_workload_cached",
-    "execute_workload_outcome",
+    "layer_cache_key",
     "obtain_program",
+    "plan_workload",
     "program_cache_key",
     "try_compose_from_cache",
 ]
@@ -215,6 +238,75 @@ def block_cache_key(block_fingerprint: str, config: BitFusionConfig) -> str:
     )
 
 
+def layer_cache_key(compiled: CompiledBlock, config: BitFusionConfig) -> str:
+    """Content-addressed cache key of one simulated layer.
+
+    Unlike :func:`block_cache_key`, the layer key hashes the block's
+    *name-free* content (:meth:`~repro.isa.program.CompiledBlock.
+    layer_fingerprint`): identical (layer shape, bitwidths, tiling,
+    instruction image) pairs collapse onto one key no matter which network —
+    or which layer name within a network — produced them.  Block-level
+    lookups fall back to this key on a miss, which is what dedupes
+    simulations across the model-family sweeps the paper's benchmark suite
+    is full of.
+    """
+    return fingerprint_payload(
+        {
+            "artifact": "layer",
+            "layer": compiled.layer_fingerprint(),
+            "sim": _sim_config_payload(config),
+        }
+    )
+
+
+def lookup_block(
+    compiled: CompiledBlock, config: BitFusionConfig, cache: ResultCache
+) -> tuple[LayerResult | None, str | None, str]:
+    """Resolve one block's simulated result through both cache levels.
+
+    Tries the block key first, then falls back to the content-addressed
+    layer key.  Returns ``(value, level, source)`` where ``level`` is
+    ``"block"`` or ``"layer"`` (``None`` on a miss) and ``source`` is
+    ``"memory"``/``"disk"``/``"miss"``.  A layer-level hit is renamed to the
+    requesting block and promoted into memory under the block key (memory
+    only — the layer-level entry already persists the payload), so repeat
+    lookups skip the fallback.  No statistics are recorded here; callers
+    account for hits and misses in their own stage counters.
+    """
+    block_key = block_cache_key(compiled.fingerprint(), config)
+    value, source = cache.get_with_source(block_key)
+    if value is not None:
+        return value, "block", source
+    value, source = cache.get_with_source(layer_cache_key(compiled, config))
+    if value is None:
+        return None, None, "miss"
+    value = replace(value, name=compiled.name)
+    cache.put(block_key, value, persist=False)
+    return value, "layer", source
+
+
+def store_block_result(
+    cache: ResultCache, workload: Workload, compiled: CompiledBlock, layer: LayerResult
+) -> None:
+    """Store one freshly simulated block under both cache levels.
+
+    The block-keyed entry serves exact repeats; the layer-keyed entry (name
+    normalized away, so the stored payload is independent of which network
+    asked first) serves any block with identical layer content.
+    """
+    cache.put(
+        block_cache_key(compiled.fingerprint(), workload.config),
+        layer,
+        {**workload.describe(), "artifact": "block", "block": compiled.name},
+    )
+    cache.put(
+        layer_cache_key(compiled, workload.config),
+        replace(layer, name=""),
+        {**workload.describe(), "artifact": "layer", "block": compiled.name},
+        kind="layer",
+    )
+
+
 # ---------------------------------------------------------------------- #
 # Stage 3: compose, and the staged drivers
 # ---------------------------------------------------------------------- #
@@ -244,19 +336,18 @@ def try_compose_from_cache(
     program, program_source = cache.get_with_source(program_cache_key(workload))
     if program is None:
         return None, False
-    found: list[tuple[LayerResult, str]] = []
+    found: list[tuple[LayerResult, str, str]] = []
     for compiled in program:
-        key = block_cache_key(compiled.fingerprint(), workload.config)
-        value, source = cache.get_with_source(key)
+        value, level, source = lookup_block(compiled, workload.config, cache)
         if value is None:
             return None, False
-        found.append((value, source))
+        found.append((value, level, source))
     stats.programs.record_hit(program_source)
     from_disk = program_source == "disk"
-    for _, source in found:
-        stats.blocks.record_hit(source)
+    for _, level, source in found:
+        (stats.blocks if level == "block" else stats.layers).record_hit(source)
         from_disk = from_disk or source == "disk"
-    return _compose(workload, program, [layer for layer, _ in found]), from_disk
+    return _compose(workload, program, [layer for layer, _, _ in found]), from_disk
 
 
 def execute_workload_cached(
@@ -275,62 +366,217 @@ def execute_workload_cached(
     simulator: BitFusionSimulator | None = None
     layers: list[LayerResult] = []
     for compiled in program:
-        key = block_cache_key(compiled.fingerprint(), workload.config)
-        value, source = cache.get_with_source(key)
+        value, level, source = lookup_block(compiled, workload.config, cache)
         if value is None:
             stats.blocks.record_miss()
+            stats.layers.record_miss()
             if simulator is None:
                 simulator = BitFusionSimulator(workload.config)
             value = simulator.run_block(compiled)
-            cache.put(
-                key, value, {**workload.describe(), "artifact": "block", "block": compiled.name}
-            )
+            store_block_result(cache, workload, compiled, value)
         else:
-            stats.blocks.record_hit(source)
+            (stats.blocks if level == "block" else stats.layers).record_hit(source)
         layers.append(value)
     return _compose(workload, program, layers)
 
 
+# ---------------------------------------------------------------------- #
+# The cache-aware parallel worker protocol
+# ---------------------------------------------------------------------- #
+class WorkloadExecutionError(RuntimeError):
+    """One or more workloads of a parallel batch failed.
+
+    Raised by :meth:`EvaluationSession.run_many
+    <repro.session.session.EvaluationSession.run_many>` *after* every
+    surviving result and artifact has been stored, so a single bad workload
+    costs the batch nothing but its own point.  :attr:`failures` carries one
+    message per failed workload, each naming the workload it came from.
+    """
+
+    def __init__(self, failures: list[str]) -> None:
+        self.failures = tuple(failures)
+        details = "; ".join(failures)
+        super().__init__(
+            f"{len(failures)} workload(s) failed during parallel execution: {details}"
+        )
+
+
 @dataclass(frozen=True)
-class StagedArtifacts:
-    """The cacheable artifacts one staged execution produced."""
+class WorkUnit:
+    """What the main process ships a pool worker: program + missing blocks.
 
-    program_key: str
-    program: Program
-    block_keys: tuple[str, ...]
-    layers: tuple[LayerResult, ...]
+    ``program_payload`` is the centrally compiled (or cache-restored)
+    program serialized via :meth:`~repro.isa.program.Program.to_dict` —
+    workers rebuild it with ``Program.from_dict``, so what they simulate is
+    exactly the artifact the cache stores.  ``simulate_indices`` names the
+    blocks whose results were *not* already cached; everything else stays in
+    the main process.  Baseline workloads ship with ``program_payload=None``
+    and execute whole.
+    """
+
+    workload: Workload
+    program_payload: dict[str, Any] | None
+    simulate_indices: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
-class WorkloadOutcome:
-    """A worker's return value: the result plus any staged artifacts."""
+class WorkResult:
+    """A worker's reply: the missing block results, or a whole result.
 
-    result: NetworkResult
-    artifacts: StagedArtifacts | None
+    Exactly one of three shapes: ``layers`` holds ``(index, LayerResult)``
+    pairs for a Bit Fusion unit, ``result`` a whole ``NetworkResult`` for a
+    baseline unit, and ``error`` a message (carrying the workload's label)
+    when execution raised — workers never let an exception escape into
+    ``ProcessPoolExecutor.map``, which would abort the entire batch.
+    """
+
+    layers: tuple[tuple[int, LayerResult], ...] = ()
+    result: NetworkResult | None = None
+    error: str | None = None
 
 
-def execute_workload_outcome(workload: Workload) -> WorkloadOutcome:
-    """Run one workload and return its result together with its artifacts.
+def execute_work_unit(unit: WorkUnit) -> WorkResult:
+    """Run one work unit in a pool worker process.
 
-    This is the function process-pool workers execute: it is cache-free
-    (worker processes share no state), but it hands every intermediate
-    artifact back so the session can populate its two-level cache exactly
-    as an in-process staged execution would.
+    Failures are converted into :attr:`WorkResult.error` strings instead of
+    raised, so one bad workload cannot poison the pool batch.
+    """
+    try:
+        if unit.program_payload is None:
+            return WorkResult(result=execute_workload(unit.workload))
+        program = Program.from_dict(unit.program_payload)
+        simulator = BitFusionSimulator(unit.workload.config)
+        layers = simulator.run_selected_blocks(program, unit.simulate_indices)
+        return WorkResult(layers=tuple(zip(unit.simulate_indices, layers)))
+    except Exception as error:  # noqa: BLE001 — must not escape into pool.map
+        return WorkResult(
+            error=f"workload {unit.workload.label()}: {type(error).__name__}: {error}"
+        )
+
+
+@dataclass(frozen=True)
+class WorkPlan:
+    """The main process's cache-resolution plan for one pending workload.
+
+    ``cached_layers`` maps block index → result resolved at plan time;
+    ``simulate_indices`` are the blocks a worker must simulate;
+    ``deferred_indices`` are blocks whose key an earlier workload of the
+    same batch already claimed — their results are read from the cache at
+    compose time, after the claiming unit has been stored.
+    """
+
+    workload: Workload
+    program: Program | None
+    cached_layers: dict[int, LayerResult]
+    simulate_indices: tuple[int, ...]
+    deferred_indices: tuple[int, ...]
+
+    @property
+    def needs_worker(self) -> bool:
+        return self.program is None or bool(self.simulate_indices)
+
+    def work_unit(self) -> WorkUnit:
+        return WorkUnit(
+            workload=self.workload,
+            program_payload=None if self.program is None else self.program.to_dict(),
+            simulate_indices=self.simulate_indices,
+        )
+
+
+def plan_workload(
+    workload: Workload, cache: ResultCache, stats: CacheStats, claimed: set[str]
+) -> WorkPlan:
+    """Plan one pending workload: compile centrally, resolve warm blocks.
+
+    Compilation goes through the program cache (structure-only key), so a
+    batch sharing a network compiles it exactly once in the main process.
+    Every block is then resolved through both cache levels; only genuinely
+    missing blocks are scheduled for remote simulation.  ``claimed`` tracks
+    block keys already scheduled by earlier workloads of the same batch —
+    duplicates are deferred to compose time instead of being simulated
+    twice, which keeps the reported stage statistics identical to a serial
+    run.
     """
     if workload.platform != "bitfusion":
-        return WorkloadOutcome(result=execute_workload(workload), artifacts=None)
-    program = compile_program(workload)
-    simulator = BitFusionSimulator(workload.config)
-    layers = tuple(simulator.run_blocks(program))
-    block_keys = tuple(
-        block_cache_key(compiled.fingerprint(), workload.config) for compiled in program
+        return WorkPlan(
+            workload=workload,
+            program=None,
+            cached_layers={},
+            simulate_indices=(),
+            deferred_indices=(),
+        )
+    program, _ = obtain_program(workload, cache, stats)
+    cached: dict[int, LayerResult] = {}
+    simulate: list[int] = []
+    deferred: list[int] = []
+    for index, compiled in enumerate(program):
+        value, level, source = lookup_block(compiled, workload.config, cache)
+        if value is not None:
+            (stats.blocks if level == "block" else stats.layers).record_hit(source)
+            stats.workers.reused_blocks += 1
+            cached[index] = value
+            continue
+        block_key = block_cache_key(compiled.fingerprint(), workload.config)
+        layer_key = layer_cache_key(compiled, workload.config)
+        # Claim both cache levels: a block whose *layer content* an earlier
+        # in-batch block already claimed would be served by the layer-level
+        # fallback serially, so the parallel path must defer it too rather
+        # than re-simulate identical content under a different name.
+        if block_key in claimed or layer_key in claimed:
+            deferred.append(index)
+            continue
+        claimed.add(block_key)
+        claimed.add(layer_key)
+        stats.blocks.record_miss()
+        stats.layers.record_miss()
+        simulate.append(index)
+    return WorkPlan(
+        workload=workload,
+        program=program,
+        cached_layers=cached,
+        simulate_indices=tuple(simulate),
+        deferred_indices=tuple(deferred),
     )
-    return WorkloadOutcome(
-        result=_compose(workload, program, list(layers)),
-        artifacts=StagedArtifacts(
-            program_key=program_cache_key(workload),
-            program=program,
-            block_keys=block_keys,
-            layers=layers,
-        ),
-    )
+
+
+def compose_plan(
+    plan: WorkPlan,
+    remote_layers: dict[int, LayerResult],
+    cache: ResultCache,
+    stats: CacheStats,
+) -> NetworkResult:
+    """Assemble a planned workload's result from cached + worker-simulated blocks.
+
+    Fresh worker results are stored under both cache levels as they are
+    composed.  Deferred blocks (claimed by an earlier workload of the batch)
+    are read from the cache now that the claiming unit has been stored; if
+    that unit failed, the block is simulated inline as a last resort so one
+    failure never corrupts a neighbouring workload's result.
+    """
+    workload = plan.workload
+    assert plan.program is not None
+    simulator: BitFusionSimulator | None = None
+    layers: list[LayerResult] = []
+    for index, compiled in enumerate(plan.program):
+        if index in plan.cached_layers:
+            layers.append(plan.cached_layers[index])
+            continue
+        if index in remote_layers:
+            layer = remote_layers[index]
+            store_block_result(cache, workload, compiled, layer)
+            layers.append(layer)
+            continue
+        value, level, source = lookup_block(compiled, workload.config, cache)
+        if value is not None:
+            (stats.blocks if level == "block" else stats.layers).record_hit(source)
+            stats.workers.reused_blocks += 1
+            layers.append(value)
+            continue
+        stats.blocks.record_miss()
+        stats.layers.record_miss()
+        if simulator is None:
+            simulator = BitFusionSimulator(workload.config)
+        layer = simulator.run_block(compiled)
+        store_block_result(cache, workload, compiled, layer)
+        layers.append(layer)
+    return _compose(workload, plan.program, layers)

@@ -29,10 +29,12 @@ from typing import Iterable, Iterator
 from repro.core.config import BitFusionConfig
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
 from repro.session.engine import (
-    WorkloadOutcome,
+    WorkloadExecutionError,
     compile_program,
+    compose_plan,
+    execute_work_unit,
     execute_workload_cached,
-    execute_workload_outcome,
+    plan_workload,
     program_cache_key,
     try_compose_from_cache,
 )
@@ -177,21 +179,36 @@ class EvaluationSession:
 
         The batch is deduplicated by fingerprint and resolved against the
         cache in three steps: whole results from memory, Bit Fusion results
-        composed from cached program/block artifacts, and only then fresh
-        execution.  Genuinely new workloads are scheduled longest-job-first
-        (estimated by network MAC count x batch size, ties broken by
-        workload fingerprint so the schedule never depends on input order)
-        so a process pool's tail is as short as possible, and results are
-        returned in input order either way — parallel runs are
-        byte-identical to serial ones.  Each unique workload is simulated at
-        most once per session lifetime.
+        composed from cached program/block/layer artifacts, and only then
+        fresh execution.  In-batch duplicates of a still-pending workload
+        count as deduplication wins (``stats.deduped``), not cache hits —
+        no cached value existed when they were looked up.  Genuinely new
+        workloads are scheduled longest-job-first (estimated by network MAC
+        count x batch size, ties broken by workload fingerprint so the
+        schedule never depends on input order) so a process pool's tail is
+        as short as possible, and results are returned in input order either
+        way — parallel runs are byte-identical to serial ones.  Each unique
+        workload is simulated at most once per session lifetime.
+
+        With ``jobs > 1`` the parallel path is warm-artifact aware: the main
+        process compiles centrally through the program cache and ships each
+        worker only the blocks whose results are genuinely missing (see
+        :mod:`repro.session.engine`).  A worker failure does not abort the
+        batch — surviving results are stored first, then a
+        :class:`~repro.session.engine.WorkloadExecutionError` naming every
+        failed workload is raised.
         """
         ordered = list(workloads)
         keys = [workload.fingerprint() for workload in ordered]
         resolved: dict[str, NetworkResult] = {}
         pending: dict[str, Workload] = {}
         for key, workload in zip(keys, ordered):
-            if key in resolved or key in pending:
+            if key in pending:
+                # Duplicate of work that is queued but not done: a dedup
+                # win, not a cache hit (nothing cached served it).
+                self.stats.deduped += 1
+                continue
+            if key in resolved:
                 self.stats.hits += 1
                 continue
             value, source = self.cache.get_with_source(key)
@@ -225,67 +242,80 @@ class EvaluationSession:
                 pending.items(),
                 key=lambda item: (-estimated_cost(item[1]), item[0]),
             )
-            outcomes = self._execute_batch([workload for _, workload in items])
-            for (key, workload), outcome in zip(items, outcomes):
-                self.stats.record_execution(key)
-                self._store_outcome(key, workload, outcome)
-                resolved[key] = outcome.result
-            # One manifest write per executed batch, not one per artifact.
-            self.cache.flush()
+            try:
+                if self.jobs > 1 and len(items) > 1:
+                    resolved.update(self._execute_parallel(items))
+                else:
+                    for key, workload in items:
+                        result = execute_workload_cached(workload, self.cache, self.stats)
+                        self._store_result(key, workload, result)
+                        resolved[key] = result
+            finally:
+                # One manifest write per executed batch, not one per
+                # artifact — and surviving artifacts are flushed even when a
+                # parallel batch raises for a failed workload.
+                self.cache.flush()
         return [resolved[key] for key in keys]
 
-    def _execute_batch(self, workloads: list[Workload]) -> list[WorkloadOutcome]:
-        if self.jobs > 1 and len(workloads) > 1:
-            # The pool is created once per session and reused across batches
-            # so workers pay the interpreter/import start-up cost only once.
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-            return list(self._pool.map(execute_workload_outcome, workloads))
-        # Inline execution goes through the cache-aware staged pipeline so a
-        # partially warm cache still skips every unchanged stage; artifacts
-        # are stored as they are produced, hence no artifacts to hand back.
-        return [
-            WorkloadOutcome(
-                result=execute_workload_cached(workload, self.cache, self.stats),
-                artifacts=None,
-            )
-            for workload in workloads
-        ]
+    def _execute_parallel(
+        self, items: list[tuple[str, Workload]]
+    ) -> dict[str, NetworkResult]:
+        """Run scheduled workloads over the pool, warm artifacts resolved first.
 
-    def _store_outcome(self, key: str, workload: Workload, outcome: WorkloadOutcome) -> None:
-        """Store a fresh result (and any staged artifacts) into the cache.
-
-        Pool workers compute their artifacts without access to the shared
-        cache, so two workloads sharing a program key both ship a compiled
-        program back; the lookup-before-put below deduplicates them and
-        keeps the reported stage statistics identical to a serial run.
+        Each workload is planned against the cache in the main process
+        (central compile, per-block resolution through both cache levels);
+        only plans with genuinely missing work ship a
+        :class:`~repro.session.engine.WorkUnit` to the pool, and each unit
+        is submitted the moment its plan is ready, so workers simulate the
+        first networks while the main process is still compiling the rest.
+        Results compose and store in schedule order, so blocks deferred to
+        an earlier in-batch claimant resolve from the cache exactly as they
+        would serially.
         """
-        artifacts = outcome.artifacts
-        if artifacts is not None:
-            value, source = self.cache.get_with_source(artifacts.program_key)
-            if value is not None:
-                self.stats.programs.record_hit(source)
+        # The pool is created once per session and reused across batches
+        # so workers pay the interpreter/import start-up cost only once.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        claimed: set[str] = set()
+        plans = []
+        futures = []
+        for _, workload in items:
+            plan = plan_workload(workload, self.cache, self.stats, claimed)
+            plans.append(plan)
+            if plan.needs_worker:
+                unit = plan.work_unit()
+                self.stats.workers.units += 1
+                self.stats.workers.remote_blocks += len(unit.simulate_indices)
+                futures.append(self._pool.submit(execute_work_unit, unit))
+        replies = iter(futures)
+        resolved: dict[str, NetworkResult] = {}
+        failures: list[str] = []
+        for (key, workload), plan in zip(items, plans):
+            reply = next(replies).result() if plan.needs_worker else None
+            if reply is not None and reply.error is not None:
+                failures.append(reply.error)
+                continue
+            if reply is not None and reply.result is not None:
+                result = reply.result
             else:
-                self.stats.programs.record_miss()
-                self.cache.put(
-                    artifacts.program_key,
-                    artifacts.program,
-                    {**workload.describe(), "artifact": "program"},
-                )
-            for block_key, layer in zip(artifacts.block_keys, artifacts.layers):
-                existing, block_source = self.cache.get_with_source(block_key)
-                if existing is not None:
-                    self.stats.blocks.record_hit(block_source)
-                else:
-                    self.stats.blocks.record_miss()
-                    self.cache.put(
-                        block_key, layer, {**workload.describe(), "artifact": "block"}
-                    )
-        # Bit Fusion results are compositions of on-disk artifacts, so the
-        # composed record itself stays memory-only; baseline platforms cache
-        # their whole result (it is their only artifact).
+                remote = dict(reply.layers) if reply is not None else {}
+                result = compose_plan(plan, remote, self.cache, self.stats)
+            self._store_result(key, workload, result)
+            resolved[key] = result
+        if failures:
+            raise WorkloadExecutionError(failures)
+        return resolved
+
+    def _store_result(self, key: str, workload: Workload, result: NetworkResult) -> None:
+        """Record an execution and store its workload-level result.
+
+        Bit Fusion results are compositions of on-disk artifacts, so the
+        composed record itself stays memory-only; baseline platforms cache
+        their whole result (it is their only artifact).
+        """
+        self.stats.record_execution(key)
         persist = workload.platform != "bitfusion"
-        self.cache.put(key, outcome.result, workload.describe(), persist=persist)
+        self.cache.put(key, result, workload.describe(), persist=persist)
 
     def compile_stats(self, workload: Workload) -> ProgramStats:
         """Compile a Bit Fusion workload (cached) and return program stats.

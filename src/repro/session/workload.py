@@ -257,6 +257,25 @@ class Workload:
             }
         return fingerprint_payload(payload)
 
+    def label(self) -> str:
+        """Compact one-line description for logs and error messages.
+
+        Parallel execution attaches this to worker failures so one raising
+        workload in a pool batch names itself instead of aborting the whole
+        batch anonymously.
+        """
+        parts = [f"{self.platform}/{self.network}", f"batch={self.batch_size}"]
+        if self.variant != "quantized":
+            parts.append(f"variant={self.variant}")
+        if self.fixed_bits is not None:
+            parts.append(f"fixed_bits={self.fixed_bits}")
+        config_name = getattr(self.config, "name", None)
+        if config_name:
+            parts.append(f"config={config_name}")
+        if self.gpu_precision is not None:
+            parts.append(f"precision={self.gpu_precision}")
+        return " ".join(parts)
+
     def describe(self) -> dict[str, Any]:
         """Human-readable JSON description stored next to on-disk entries."""
         return {

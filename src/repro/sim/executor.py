@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
+from typing import Sequence
 
 from repro.core.config import BitFusionConfig
 from repro.core.fusion_unit import FusionConfig
@@ -207,6 +208,19 @@ class BitFusionSimulator:
         per-block results individually.
         """
         return [self.run_block(block) for block in program]
+
+    def run_selected_blocks(
+        self, program: Program, indices: Sequence[int]
+    ) -> list[LayerResult]:
+        """Simulate only the blocks at ``indices``, in the given order.
+
+        This is the worker-side entry point of the cache-aware parallel
+        protocol: the main process resolves every block it already has a
+        cached :class:`~repro.sim.results.LayerResult` for and ships a
+        worker just the indices that genuinely need simulating, so a
+        partially-warm parallel run never re-simulates warm blocks.
+        """
+        return [self.run_block(program[index]) for index in indices]
 
     def run_program(self, program: Program, batch_size: int | None = None) -> NetworkResult:
         """Simulate a compiled program and compose the per-block results."""

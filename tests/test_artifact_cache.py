@@ -16,13 +16,28 @@ from __future__ import annotations
 import json
 import os
 import re
+from dataclasses import replace
 
 import pytest
 
 from repro.harness.experiments import fig16_batch
 from repro.harness.runner import build_report
-from repro.session import EvaluationSession, ResultCache, Workload, estimated_cost
-from repro.session.cache import MANIFEST_SCHEMA_VERSION, ProgramStats
+from repro.isa.block import InstructionBlock
+from repro.isa.program import CompiledBlock
+from repro.session import (
+    EvaluationSession,
+    ResultCache,
+    Workload,
+    compile_program,
+    estimated_cost,
+    execute_workload,
+    layer_cache_key,
+)
+from repro.session.cache import (
+    MANIFEST_SCHEMA_VERSION,
+    ProgramStats,
+    network_result_to_dict,
+)
 from repro.session.workload import load_network
 
 
@@ -171,6 +186,27 @@ class TestLruEviction:
         assert "key3" in stems
         assert "key1" not in stems
 
+    def test_memory_hits_touch_recency_so_hot_entries_survive(self, tmp_path):
+        # Entries promoted into memory are the hottest ones; a memory hit
+        # must refresh their on-disk recency or --cache-max-mb evicts the
+        # hottest entries first.
+        writer = ResultCache(tmp_path)
+        writer.put("key0", _stats("0"))
+        writer.put("key1", _stats("1"))
+        writer.flush()
+        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
+        total = sum(entry["bytes"] for entry in manifest["entries"].values())
+
+        reader = ResultCache(tmp_path, max_bytes=total)
+        assert reader.get("key0") is not None  # disk -> memory promotion
+        assert reader.get("key1") is not None  # key1 now most recent...
+        assert reader.get("key0") is not None  # ...until this memory hit
+        reader.put("key2", _stats("2"))  # over budget: evict the LRU entry
+        stems = _entry_stems(tmp_path)
+        assert "key0" in stems  # touched by the memory hit, survives
+        assert "key2" in stems
+        assert "key1" not in stems  # genuinely least recently used
+
     def test_eviction_drops_disk_entry_not_correctness(self, tmp_path):
         workload = Workload.bitfusion("LeNet-5", batch_size=2)
         with EvaluationSession(cache_dir=tmp_path, max_cache_bytes=1024) as tight:
@@ -225,6 +261,82 @@ class TestWarmSweeps:
         assert compiles == 0
         assert rate == 100
         assert "block cache:" in report and "0 block simulations" in report
+
+
+class TestContentAddressedLayerLevel:
+    def test_layer_cache_key_ignores_block_and_layer_names(self):
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        compiled = compile_program(workload)[0]
+        renamed = CompiledBlock(
+            block=InstructionBlock("other-net/blk0", compiled.block.instructions),
+            layer=replace(compiled.layer, name="other-layer"),
+            tiling=compiled.tiling,
+            loop_order=compiled.loop_order,
+            fused_layers=tuple(
+                replace(layer, name=f"other-{i}")
+                for i, layer in enumerate(compiled.fused_layers)
+            ),
+        )
+        # The block-level fingerprint sees the rename; the layer-level
+        # content fingerprint (and hence the cache key) does not.
+        assert renamed.fingerprint() != compiled.fingerprint()
+        assert renamed.layer_fingerprint() == compiled.layer_fingerprint()
+        assert layer_cache_key(renamed, workload.config) == layer_cache_key(
+            compiled, workload.config
+        )
+        # But genuinely different content does change the layer key.
+        other = compile_program(workload)[1]
+        assert layer_cache_key(other, workload.config) != layer_cache_key(
+            compiled, workload.config
+        )
+
+    def test_layer_entries_serve_blocks_when_block_entries_are_gone(self, tmp_path):
+        # Simulate the cross-network dedupe case: all block-keyed entries
+        # vanish (here: deleted; in a model-family sweep: never written for
+        # the sibling network) and every block resolves through the
+        # content-addressed layer level — zero re-simulation, byte-identical.
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        with EvaluationSession(cache_dir=tmp_path) as first:
+            fresh = first.run(workload)
+        blocks = len(compile_program(workload))
+        removed = 0
+        for path in tmp_path.glob("*.json"):
+            if path.name == "manifest.json":
+                continue
+            if json.loads(path.read_text(encoding="utf-8"))["kind"] == "layer_result":
+                path.unlink()
+                removed += 1
+        assert removed == blocks
+        with EvaluationSession(cache_dir=tmp_path) as second:
+            restored = second.run(workload)
+        assert second.stats.unique_executions == 0
+        assert second.stats.blocks.hits == 0
+        assert second.stats.blocks.misses == 0
+        assert second.stats.layers.hits == blocks
+        assert network_result_to_dict(restored) == network_result_to_dict(fresh)
+
+    def test_entry_summary_reports_the_layer_kind(self, tmp_path):
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        blocks = len(compile_program(workload))
+        with EvaluationSession(cache_dir=tmp_path) as session:
+            session.run(workload)
+        summary = ResultCache(tmp_path).entry_summary()
+        assert summary["layer"]["entries"] == blocks
+        assert summary["layer_result"]["entries"] == blocks
+        assert summary["program"]["entries"] == 1
+        assert summary["layer"]["bytes"] > 0
+
+    def test_layer_entries_are_stored_name_free(self, tmp_path):
+        # The stored layer-level payload must not depend on which network
+        # (or layer name) wrote it first, or the dedupe would leak names.
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        with EvaluationSession(cache_dir=tmp_path) as session:
+            session.run(workload)
+        compiled = compile_program(workload)[0]
+        key = layer_cache_key(compiled, workload.config)
+        entry = json.loads((tmp_path / f"{key}.json").read_text(encoding="utf-8"))
+        assert entry["kind"] == "layer"
+        assert entry["payload"]["name"] == ""
 
 
 class TestLongestJobFirst:

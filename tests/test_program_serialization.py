@@ -34,7 +34,7 @@ from repro.session import (
     program_cache_key,
 )
 from repro.session.cache import network_result_to_dict
-from repro.session.engine import execute_workload_outcome
+from repro.session.engine import WorkUnit, execute_work_unit
 
 _SRC = str(Path(__file__).resolve().parents[1] / "src")
 
@@ -142,15 +142,24 @@ class TestStagedPipelineEquivalence:
         monolithic = execute_workload(workload)
         assert network_result_to_dict(staged) == network_result_to_dict(monolithic)
 
-    def test_pool_outcome_is_byte_identical_to_monolithic(self):
+    def test_work_unit_blocks_are_byte_identical_to_monolithic(self):
+        # A worker simulating blocks from the serialized program payload must
+        # reproduce the monolithic per-layer results bit for bit.
         workload = Workload.bitfusion("LSTM", batch_size=4)
-        outcome = execute_workload_outcome(workload)
-        assert network_result_to_dict(outcome.result) == network_result_to_dict(
-            execute_workload(workload)
+        program = compile_program(workload)
+        unit = WorkUnit(
+            workload=workload,
+            program_payload=program.to_dict(),
+            simulate_indices=tuple(range(len(program))),
         )
-        assert outcome.artifacts is not None
-        assert outcome.artifacts.program_key == program_cache_key(workload)
-        assert len(outcome.artifacts.block_keys) == len(outcome.artifacts.layers)
+        reply = execute_work_unit(unit)
+        assert reply.error is None
+        assert [index for index, _ in reply.layers] == list(range(len(program)))
+        monolithic = execute_workload(workload)
+        assert [layer.name for _, layer in reply.layers] == [
+            layer.name for layer in monolithic.layers
+        ]
+        assert tuple(layer for _, layer in reply.layers) == monolithic.layers
 
     def test_disk_restored_program_simulates_byte_identical(self, tmp_path):
         workload = Workload.bitfusion("LeNet-5", batch_size=4)
@@ -163,7 +172,10 @@ class TestStagedPipelineEquivalence:
             second.cache.clear_memory()
             for path in tmp_path.glob("*.json"):
                 entry = path.read_text(encoding="utf-8")
-                if '"kind": "layer_result"' in entry:
+                # Drop both cache levels of the simulated-block records (the
+                # content-addressed layer entries would otherwise serve the
+                # blocks right back through the fallback).
+                if '"kind": "layer_result"' in entry or '"kind": "layer"' in entry:
                     path.unlink()
             restored = second.run(workload)
         assert second.stats.programs.hits == 1

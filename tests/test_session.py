@@ -31,6 +31,7 @@ from repro.session import (
     compile_program,
     execute_workload,
     fixed_bitwidth_network,
+    layer_cache_key,
     load_network,
 )
 from repro.session.cache import network_result_from_dict, network_result_to_dict
@@ -163,8 +164,13 @@ class TestResultCache:
         with EvaluationSession(cache_dir=tmp_path) as first:
             fresh = first.run(workload)
         program = compile_program(workload)
-        corrupted = block_cache_key(program[0].fingerprint(), workload.config)
-        (tmp_path / f"{corrupted}.json").write_text("not json", encoding="utf-8")
+        # Corrupt both cache levels of block 0 (block-keyed and
+        # content-addressed layer entry) so nothing can serve it back.
+        for key in (
+            block_cache_key(program[0].fingerprint(), workload.config),
+            layer_cache_key(program[0], workload.config),
+        ):
+            (tmp_path / f"{key}.json").write_text("not json", encoding="utf-8")
         with EvaluationSession(cache_dir=tmp_path) as second:
             recovered = second.run(workload)
         assert second.stats.misses == 1
@@ -180,6 +186,23 @@ class TestResultCache:
             third.run(workload)
             assert third.stats.disk_hits == 1
             assert third.stats.unique_executions == 0
+
+    def test_corrupted_block_entry_is_served_by_the_layer_level(self, tmp_path):
+        # When only the block-keyed entry is corrupt, the content-addressed
+        # layer entry steps in: no re-simulation, byte-identical result.
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        with EvaluationSession(cache_dir=tmp_path) as first:
+            fresh = first.run(workload)
+        program = compile_program(workload)
+        corrupted = block_cache_key(program[0].fingerprint(), workload.config)
+        (tmp_path / f"{corrupted}.json").write_text("not json", encoding="utf-8")
+        with EvaluationSession(cache_dir=tmp_path) as second:
+            recovered = second.run(workload)
+        assert second.stats.unique_executions == 0
+        assert second.stats.blocks.misses == 0
+        assert second.stats.layers.hits == 1
+        assert second.stats.blocks.hits == len(program) - 1
+        assert network_result_to_dict(recovered) == network_result_to_dict(fresh)
 
     def test_corrupted_manifest_is_rebuilt_not_fatal(self, tmp_path):
         workload = Workload.bitfusion("LeNet-5", batch_size=4)
@@ -238,6 +261,24 @@ class TestEvaluationSession:
         assert session.stats.unique_executions == 1
         assert results[0] is results[1] is results[2]
 
+    def test_duplicate_of_pending_workload_is_dedup_not_hit(self):
+        # A duplicate of a workload that is queued but not yet executed was
+        # served by deduplication, not by the cache: counting it as a hit
+        # would inflate the reported hit rate.
+        session = EvaluationSession()
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        session.run_many([workload, workload, workload])
+        assert session.stats.misses == 1
+        assert session.stats.hits == 0
+        assert session.stats.deduped == 2
+        assert session.stats.hit_rate == 0.0
+        # Duplicates of an already-cached workload, by contrast, are hits.
+        session.run_many([workload, workload])
+        assert session.stats.hits == 2
+        assert session.stats.misses == 1
+        assert session.stats.deduped == 2
+        assert session.stats.unique_executions == 1
+
     def test_flag_change_invalidates_cached_result(self):
         session = EvaluationSession()
         session.run(Workload.bitfusion("LeNet-5", batch_size=4))
@@ -293,6 +334,7 @@ class TestReportAcceptance:
                 for line in report.splitlines()
                 if not line.startswith("_(generated in")
                 and not line.startswith("worker processes")
+                and not line.startswith("parallel workers")
             ]
 
         assert tables(serial) == tables(parallel)
