@@ -23,7 +23,13 @@ See ``docs/sweeps.md`` for the spec schema and a worked example, and
 ``examples/design_space_sweep.py`` for a runnable two-axis exploration.
 """
 
-from repro.dse.pareto import OBJECTIVES, dominates, pareto_front, pareto_indices
+from repro.dse.pareto import (
+    OBJECTIVES,
+    dominates,
+    pareto_front,
+    pareto_indices,
+    pareto_indices_quadratic,
+)
 from repro.dse.report import format_pareto_table, format_sweep_report
 from repro.dse.runner import DesignSpaceResult, EvaluatedPoint, run_sweep
 from repro.dse.spec import (
@@ -52,5 +58,6 @@ __all__ = [
     "format_sweep_report",
     "pareto_front",
     "pareto_indices",
+    "pareto_indices_quadratic",
     "run_sweep",
 ]

@@ -9,13 +9,30 @@ area), and the frontier is the set of points no other point dominates.
 The core routine works on plain objective vectors so it can be tested on
 synthetic points independently of any simulation, and preserves input
 order so frontiers are deterministic.
+
+:func:`pareto_indices` is sort-based: points are processed in lexicographic
+order, where any dominator of a point sorts strictly before it, so each
+point only needs checking against the *frontier found so far* — O(n log n)
+for one or two objectives (a single scan with a running best suffices) and
+O(n·f·d) beyond that, where ``f`` is the frontier size (typically tiny
+compared to ``n``).  The original exhaustive all-pairs comparison survives
+as :func:`pareto_indices_quadratic`, the reference oracle the fast path is
+property-tested against — the two must return identical index lists on
+every input.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["OBJECTIVES", "Objective", "dominates", "pareto_indices", "pareto_front"]
+__all__ = [
+    "OBJECTIVES",
+    "Objective",
+    "dominates",
+    "pareto_indices",
+    "pareto_indices_quadratic",
+    "pareto_front",
+]
 
 T = TypeVar("T")
 
@@ -59,12 +76,12 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
 
 
-def pareto_indices(vectors: Sequence[Sequence[float]]) -> list[int]:
-    """Indices of the non-dominated vectors, in input order.
+def pareto_indices_quadratic(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Reference frontier: exhaustive all-pairs domination checks.
 
-    Quadratic in the number of points, which is fine at design-space scale
-    (tens to a few thousand points); the win is that the result is exact
-    and deterministic.
+    Quadratic in the number of points.  Kept as the oracle
+    :func:`pareto_indices` is property-tested against; the two must agree
+    exactly (same indices, same order) on every input.
     """
     frontier: list[int] = []
     for i, candidate in enumerate(vectors):
@@ -73,6 +90,64 @@ def pareto_indices(vectors: Sequence[Sequence[float]]) -> list[int]:
         ):
             frontier.append(i)
     return frontier
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated vectors, in input order.
+
+    Sort-based: processing points in lexicographic order guarantees every
+    dominator of a point has already been processed (a dominator is
+    componentwise ``<=`` and not equal, hence strictly lex-smaller), and by
+    transitivity it suffices to compare each point against the current
+    frontier.  Groups of identical vectors stand or fall together — equal
+    vectors never dominate each other, so duplicated design points both
+    survive onto the frontier, exactly as in the quadratic reference.  With
+    at most two objectives the frontier check collapses to one running
+    minimum and the whole reduction is O(n log n).
+    """
+    count = len(vectors)
+    if count == 0:
+        return []
+    vecs = [tuple(vector) for vector in vectors]
+    width = len(vecs[0])
+    for vector in vecs:
+        if len(vector) != width:
+            raise ValueError(
+                f"objective vectors differ in length: {width} vs {len(vector)}"
+            )
+    # NaN breaks both lexicographic sorting and the running-minimum fast
+    # path; the oracle's semantics (a NaN-carrying point neither dominates
+    # nor is dominated, so it always survives) only fall out of the
+    # explicit all-pairs comparisons.  Degenerate inputs are rare, so
+    # exactness beats speed here.
+    if any(value != value for vector in vecs for value in vector):
+        return pareto_indices_quadratic(vectors)
+
+    order = sorted(range(count), key=lambda index: (vecs[index], index))
+    survivors: list[int] = []
+    # Fast path (one or two objectives): in lex order, a point is dominated
+    # iff some earlier, non-identical vector has last-objective <= its own —
+    # tracked by a single running minimum over previous vector groups.
+    two_wide = width <= 2
+    best_last = float("inf")
+    frontier_vectors: list[tuple[float, ...]] = []
+    start = 0
+    while start < count:
+        stop = start
+        vector = vecs[order[start]]
+        while stop < count and vecs[order[stop]] == vector:
+            stop += 1
+        if two_wide:
+            alive = vector[-1] < best_last
+            best_last = min(best_last, vector[-1])
+        else:
+            alive = not any(dominates(member, vector) for member in frontier_vectors)
+            if alive:
+                frontier_vectors.append(vector)
+        if alive:
+            survivors.extend(order[start:stop])
+        start = stop
+    return sorted(survivors)
 
 
 def pareto_front(

@@ -105,9 +105,10 @@ class DesignSpaceResult:
 
         Frontiers are extracted within each (network, batch) group — a small
         network would otherwise dominate a large one on every objective and
-        collapse the frontier to the easiest benchmark.  The extraction is
-        quadratic in the group size, so the result is memoized (points are
-        immutable after construction) and a full report pays for it once.
+        collapse the frontier to the easiest benchmark.  Extraction is the
+        sort-based :func:`~repro.dse.pareto.pareto_indices` (O(n log n) for
+        up to two objectives); the result is memoized (points are immutable
+        after construction) so a full report pays for it once.
         """
         if self._frontier is not None:
             return list(self._frontier)

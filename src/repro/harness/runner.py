@@ -69,6 +69,7 @@ __all__ = [
     "run_experiments",
     "build_report",
     "build_sweep_report",
+    "build_sweep_dry_run_report",
     "format_cache_info",
     "main",
     "sweep_main",
@@ -269,6 +270,11 @@ def _session_footer(session: EvaluationSession) -> list[str]:
     so the report and the ``sweep`` subcommand must emit the same format.
     """
     lines = [session.stats.summary()]
+    # Wall-clock cost of the compile stage (fresh compilations only —
+    # cache hits cost nothing).  The perf suite tracks the same number as
+    # a trajectory; the footer makes compile-cost regressions visible on
+    # every ordinary report run.
+    lines.append(f"compile time: {session.stats.compile_seconds:.3f} s")
     if session.cache.cache_dir is not None:
         lines.append(f"persistent cache: {session.cache.cache_dir}")
         if session.cache.max_bytes is not None:
@@ -328,6 +334,76 @@ def build_sweep_report(
     return "\n".join(sections)
 
 
+def build_sweep_dry_run_report(spec_path: str, cache_dir: str | None = None) -> str:
+    """Expand a sweep spec and diff the planned grid against a cache directory.
+
+    Nothing compiles or simulates: every expanded workload is audited
+    against the ``--cache-dir`` artifacts
+    (:func:`~repro.session.engine.audit_workload_cache`) and the report
+    says how much of the planned grid is already cached — fully
+    composable, partially cached (program present, some blocks missing) or
+    cold — plus the directory's per-kind entry summary.  Run this before
+    committing to an expensive sweep to see what it will actually cost.
+    """
+    from pathlib import Path
+
+    from repro.dse import SweepSpec
+    from repro.session.engine import audit_workload_cache
+
+    spec = SweepSpec.from_file(spec_path)
+    points = spec.expand()
+    if cache_dir is not None and not Path(cache_dir).is_dir():
+        raise ValueError(f"cache directory {cache_dir!r} does not exist")
+    cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
+
+    audited: dict[str, tuple[str, int, int]] = {}
+    grid_states: list[str] = []
+    for point in points:
+        key = point.workload.fingerprint()
+        if key not in audited:
+            audited[key] = audit_workload_cache(point.workload, cache)
+        grid_states.append(audited[key][0])
+
+    unique = list(audited.values())
+    counts = {
+        state: sum(1 for s, _, _ in unique if s == state)
+        for state in ("cached", "partial", "cold")
+    }
+    missing_blocks = sum(missing for _, missing, _ in unique)
+    partial_blocks = sum(total for state, _, total in unique if state == "partial")
+    lines = [
+        "# Bit Fusion design-space sweep — dry run",
+        "",
+        f"_repro {__version__} — spec: {spec_path}_",
+        "",
+        "```",
+        spec.describe(),
+        f"grid: {len(points)} points, {len(audited)} unique workloads",
+        (
+            f"fully cached: {counts['cached']} workloads "
+            f"(would compose without any fresh work)"
+        ),
+        (
+            f"partially cached: {counts['partial']} workloads "
+            f"({missing_blocks} of {partial_blocks} blocks missing)"
+        ),
+        f"cold: {counts['cold']} workloads (no usable artifacts)",
+    ]
+    cached_points = sum(1 for state in grid_states if state == "cached")
+    fraction = cached_points / len(points) if points else 0.0
+    lines.append(
+        f"planned grid already cached: {cached_points}/{len(points)} points ({fraction:.0%})"
+    )
+    lines.append("```")
+    lines.append("")
+    if cache_dir is not None:
+        lines.extend(["## Cache directory", "", "```", format_cache_info(cache_dir), "```", ""])
+    else:
+        lines.append("(no --cache-dir given: every workload counts as cold)")
+        lines.append("")
+    return "\n".join(lines)
+
+
 def sweep_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``sweep`` subcommand."""
     parser = argparse.ArgumentParser(
@@ -362,6 +438,13 @@ def sweep_main(argv: list[str] | None = None) -> int:
         metavar="MB",
         help="size budget for the on-disk cache (requires --cache-dir)",
     )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="expand the grid and report how much of it the --cache-dir "
+        "already holds (fully/partially cached vs cold) without running "
+        "any compilation or simulation",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -373,12 +456,15 @@ def sweep_main(argv: list[str] | None = None) -> int:
             parser.error(f"--cache-max-mb must be positive, got {args.cache_max_mb}")
         max_cache_bytes = int(args.cache_max_mb * 1024 * 1024)
     try:
-        report = build_sweep_report(
-            args.spec,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            max_cache_bytes=max_cache_bytes,
-        )
+        if args.dry_run:
+            report = build_sweep_dry_run_report(args.spec, cache_dir=args.cache_dir)
+        else:
+            report = build_sweep_report(
+                args.spec,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                max_cache_bytes=max_cache_bytes,
+            )
     except (OSError, RuntimeError, ValueError) as error:
         parser.error(str(error))
     if args.output:

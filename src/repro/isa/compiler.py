@@ -26,6 +26,7 @@ layers, consistent with the paper's reported 30-86 instructions per block.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.config import BitFusionConfig
 from repro.dnn.layers import (
@@ -54,11 +55,21 @@ from repro.isa.instructions import (
     StMem,
     WrBuf,
 )
-from repro.isa.optimizations import choose_loop_order, fuse_layers
+from repro.isa.optimizations import choose_loop_order, choose_loop_order_scalar, fuse_layers
 from repro.isa.program import CompiledBlock, Program
-from repro.isa.tiling import GemmWorkload, TilingPlan, plan_tiling
+from repro.isa.tiling import GemmWorkload, TilingPlan
 
-__all__ = ["FusionCompiler", "compile_layer", "compile_network"]
+__all__ = ["FusionCompiler", "PlanResolver", "compile_layer", "compile_network"]
+
+#: Hook the evaluation session uses to memoize tiling searches across
+#: compilations: ``(gemm, orders, compute)`` where ``compute`` runs the
+#: actual search.  A resolver may serve the plan from a cache instead of
+#: calling ``compute``; the plan it returns must be exactly what ``compute``
+#: would have produced (plans serialize losslessly, so a cache round-trip
+#: preserves this).
+PlanResolver = Callable[
+    [GemmWorkload, tuple[LoopOrder, ...], Callable[[], TilingPlan]], TilingPlan
+]
 
 _MAX_IMMEDIATE = (1 << 16) - 1
 
@@ -111,6 +122,17 @@ class FusionCompiler:
     enable_layer_fusion:
         When ``False``, pooling/activation layers get their own blocks and
         their intermediate tensors travel through DRAM.
+    plan_resolver:
+        Optional :data:`PlanResolver` consulted before every tiling search.
+        The evaluation session installs one backed by its artifact cache, so
+        duplicate GEMM shapes — within a network, across networks, and
+        across sweep points that share buffer geometry — skip the search
+        entirely.  ``None`` (the default) searches unconditionally.
+    vectorized_search:
+        When ``False``, tiling searches run the pure-Python reference
+        implementation instead of the vectorized grid scorer.  The two are
+        bit-identical by contract (tested); the flag exists so the perf
+        suite and the oracle tests can compile whole networks both ways.
     """
 
     def __init__(
@@ -118,10 +140,34 @@ class FusionCompiler:
         config: BitFusionConfig,
         enable_loop_ordering: bool = True,
         enable_layer_fusion: bool = True,
+        plan_resolver: PlanResolver | None = None,
+        vectorized_search: bool = True,
     ) -> None:
         self.config = config
         self.enable_loop_ordering = enable_loop_ordering
         self.enable_layer_fusion = enable_layer_fusion
+        self.plan_resolver = plan_resolver
+        self.vectorized_search = vectorized_search
+
+    def _plan_tiling(
+        self, workload: GemmWorkload, orders: tuple[LoopOrder, ...]
+    ) -> TilingPlan:
+        """Search (or resolve from the memo) the tiling for one GEMM.
+
+        ``orders`` names the dataflows the search may consider — the full
+        tuple when loop ordering is enabled, just ``OUTPUT_STATIONARY``
+        otherwise (and always for auxiliary layers) — and is part of the
+        resolver's memo key, so ablation runs never share plans with
+        optimized ones.
+        """
+        search = choose_loop_order if self.vectorized_search else choose_loop_order_scalar
+
+        def compute() -> TilingPlan:
+            return search(workload, self.config, orders)
+
+        if self.plan_resolver is not None:
+            return self.plan_resolver(workload, orders, compute)
+        return compute()
 
     # ------------------------------------------------------------------ #
     # Workload lowering
@@ -145,11 +191,10 @@ class FusionCompiler:
 
     def _lower_gemm(self, layer: Layer, batch_size: int | None = None) -> _GemmLowering:
         workload = self.gemm_workload(layer, batch_size)
-        if self.enable_loop_ordering:
-            tiling = choose_loop_order(workload, self.config)
-        else:
-            tiling = plan_tiling(workload, self.config, LoopOrder.OUTPUT_STATIONARY)
-        return _GemmLowering(workload=workload, tiling=tiling)
+        orders = (
+            tuple(LoopOrder) if self.enable_loop_ordering else (LoopOrder.OUTPUT_STATIONARY,)
+        )
+        return _GemmLowering(workload=workload, tiling=self._plan_tiling(workload, orders))
 
     # ------------------------------------------------------------------ #
     # Instruction emission
@@ -436,7 +481,7 @@ class FusionCompiler:
             weight_bits=layer.weight_bits,
             output_bits=layer.output_bits,
         )
-        tiling = plan_tiling(workload, self.config, LoopOrder.OUTPUT_STATIONARY)
+        tiling = self._plan_tiling(workload, (LoopOrder.OUTPUT_STATIONARY,))
         tiling = tiling.with_output_store_bits(
             layer.output_elements() * batch * layer.output_bits
         )

@@ -24,9 +24,19 @@ from dataclasses import dataclass
 from repro.core.config import BitFusionConfig
 from repro.dnn.layers import ActivationLayer, Layer, PoolLayer
 from repro.isa.instructions import LoopOrder
-from repro.isa.tiling import GemmWorkload, TilingPlan, plan_tiling
+from repro.isa.tiling import (
+    GemmWorkload,
+    TilingPlan,
+    search_tiling,
+    search_tiling_scalar,
+)
 
-__all__ = ["choose_loop_order", "FusionDecision", "fuse_layers"]
+__all__ = [
+    "choose_loop_order",
+    "choose_loop_order_scalar",
+    "FusionDecision",
+    "fuse_layers",
+]
 
 
 def choose_loop_order(
@@ -38,12 +48,27 @@ def choose_loop_order(
 
     This reproduces the paper's loop-ordering optimization: the compiler
     "switches between Input-stationary, Output-stationary and
-    Weight-stationary to minimize off-chip and on-chip accesses".
+    Weight-stationary to minimize off-chip and on-chip accesses".  The
+    candidate grid — every (tile_m, tile_n) pair for every order — is scored
+    in one vectorized pass (:func:`~repro.isa.tiling.search_tiling`); ties
+    between orders break towards the earliest order in ``orders``, exactly
+    as the scalar reference :func:`choose_loop_order_scalar` does.
     """
-    if not orders:
-        raise ValueError("at least one loop order must be considered")
-    plans = [plan_tiling(workload, config, loop_order=order) for order in orders]
-    return min(plans, key=lambda plan: (plan.total_dram_bits, plan.tile_count))
+    return search_tiling(workload, config, orders)
+
+
+def choose_loop_order_scalar(
+    workload: GemmWorkload,
+    config: BitFusionConfig,
+    orders: tuple[LoopOrder, ...] = tuple(LoopOrder),
+) -> TilingPlan:
+    """Reference implementation of :func:`choose_loop_order` (pure Python).
+
+    Kept as the oracle the vectorized search is tested against — the two
+    must return identical plans on every input — and used by the compiler's
+    ``vectorized_search=False`` mode (the perf suite's baseline measurement).
+    """
+    return search_tiling_scalar(workload, config, orders)
 
 
 @dataclass(frozen=True)

@@ -94,8 +94,18 @@ class CompiledBlock:
         metadata hash the same in any process; this digest (plus the
         simulation-affecting accelerator parameters) keys cached per-block
         simulation results.
+
+        Memoized on the (frozen) instance: every block-level cache lookup
+        re-derives this digest, and serializing the instruction image anew
+        for each lookup was a measurable share of the warm path.  The memo
+        is stored outside the dataclass fields, so equality, ``asdict`` and
+        pickling are unaffected.
         """
-        return fingerprint_payload(self.to_dict())
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = fingerprint_payload(self.to_dict())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def layer_content_dict(self) -> dict[str, Any]:
         """The block's payload with every name stripped: pure layer content.
@@ -127,8 +137,15 @@ class CompiledBlock:
         *layer* level of the result cache
         (:func:`repro.session.engine.layer_cache_key`); a simulated result
         found through it is renamed to the requesting block before use.
+
+        Memoized like :meth:`fingerprint` (the layer-level fallback key is
+        derived on every block lookup).
         """
-        return fingerprint_payload(self.layer_content_dict())
+        cached = self.__dict__.get("_layer_fingerprint")
+        if cached is None:
+            cached = fingerprint_payload(self.layer_content_dict())
+            object.__setattr__(self, "_layer_fingerprint", cached)
+        return cached
 
 
 class Program:
@@ -152,9 +169,11 @@ class Program:
             raise ValueError("program network name must be non-empty")
         self.network_name = network_name
         self._blocks: list[CompiledBlock] = list(blocks)
+        self._fingerprint: str | None = None
 
     def append(self, block: CompiledBlock) -> "Program":
         self._blocks.append(block)
+        self._fingerprint = None
         return self
 
     @property
@@ -197,8 +216,15 @@ class Program:
         )
 
     def fingerprint(self) -> str:
-        """Stable content hash over the serialized program payload."""
-        return fingerprint_payload(self.to_dict())
+        """Stable content hash over the serialized program payload.
+
+        Memoized until the next :meth:`append` (programs are effectively
+        frozen once compiled; the cache re-fingerprints them on every
+        workload-level lookup).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_payload(self.to_dict())
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # Aggregate statistics

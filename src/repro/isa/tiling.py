@@ -21,10 +21,17 @@ traffic of the three dataflow orders is:
 * **input-stationary** — each input tile is fetched exactly once; weights
   are re-fetched once per ``R``-tile and partial sums spill as above.
 
-:func:`plan_tiling` performs a small exhaustive search over tile sizes for
-one order; :func:`~repro.isa.optimizations.choose_loop_order` compares the
-orders.  The search is deterministic and cheap (a few hundred candidate
-evaluations per layer).
+:func:`plan_tiling` performs an exhaustive search over tile sizes for one
+order; :func:`~repro.isa.optimizations.choose_loop_order` compares the
+orders.  The search is deterministic, and since the candidate space is a
+dense (tile_m x tile_n x loop_order) grid it is scored *vectorized*: numpy
+broadcasts the buffer-feasibility masks, the traffic formulas and the
+``(total_dram_bits, tile_count)`` tie-break key over the whole grid and a
+single argmin picks the winner (:func:`search_tiling`).  The original
+pure-Python double loop survives as :func:`search_tiling_scalar` /
+:func:`plan_tiling_scalar` — the reference oracle the vectorized path is
+property-tested against, and the fallback when a pathological GEMM would
+overflow 64-bit traffic arithmetic.
 """
 
 from __future__ import annotations
@@ -32,11 +39,21 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from math import ceil
 
+import numpy as np
+
 from repro.core.config import BitFusionConfig
 from repro.fingerprint import fingerprint_payload
 from repro.isa.instructions import LoopOrder
 
-__all__ = ["GemmWorkload", "TilingPlan", "plan_tiling", "tile_candidates"]
+__all__ = [
+    "GemmWorkload",
+    "TilingPlan",
+    "plan_tiling",
+    "plan_tiling_scalar",
+    "search_tiling",
+    "search_tiling_scalar",
+    "tile_candidates",
+]
 
 #: Partial sums travel at 32 bits (Figure 4); spilled partials use this width.
 PARTIAL_SUM_BITS = 32
@@ -180,8 +197,17 @@ class TilingPlan:
         content-addressed *layer* cache level recognize identical
         (layer, tiling) pairs across different networks in a model-family
         sweep.
+
+        The digest is memoized on the (frozen) instance: plans ride along
+        every block-cache lookup, so re-serializing the plan for each lookup
+        would tax the warm path for no reason.  The memo lives outside the
+        dataclass fields, so equality, ``asdict`` and pickling are unchanged.
         """
-        return fingerprint_payload(self.to_dict())
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = fingerprint_payload(self.to_dict())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def with_output_store_bits(self, output_write_bits: int) -> "TilingPlan":
         """Copy of this plan with a different output-store traffic total.
@@ -266,18 +292,29 @@ def _traffic(
     raise ValueError(f"unknown loop order {order}")  # pragma: no cover
 
 
-def plan_tiling(
+def _no_feasible_tiling(workload: GemmWorkload, config: BitFusionConfig) -> ValueError:
+    return ValueError(
+        f"no feasible tiling for GEMM {workload.m}x{workload.n}x{workload.r} "
+        f"at {workload.input_bits}/{workload.weight_bits} bits within buffers "
+        f"IBUF={config.ibuf_kb}KB WBUF={config.wbuf_kb}KB OBUF={config.obuf_kb}KB"
+    )
+
+
+def plan_tiling_scalar(
     workload: GemmWorkload,
     config: BitFusionConfig,
     loop_order: LoopOrder = LoopOrder.OUTPUT_STATIONARY,
 ) -> TilingPlan:
-    """Find the minimum-traffic tiling of ``workload`` for one loop order.
+    """Reference search: the pure-Python double loop over tile candidates.
 
-    The search enumerates power-of-two tile sizes for the ``M`` and ``N``
-    loops, derives the largest ``R`` tile the input and output scratchpads
-    allow, discards combinations that overflow the weight scratchpad, and
-    keeps the candidate with the least total off-chip traffic (ties broken
-    towards fewer, larger tiles).
+    This is the oracle the vectorized :func:`search_tiling` is tested
+    against (the two must agree plan-for-plan on every input), and the
+    fallback for GEMMs so large that grid traffic arithmetic would overflow
+    ``int64``.  The search enumerates power-of-two tile sizes for the ``M``
+    and ``N`` loops, derives the largest ``R`` tile the input and output
+    scratchpads allow, discards combinations that overflow the weight
+    scratchpad, and keeps the candidate with the least total off-chip
+    traffic (ties broken towards fewer, larger tiles).
     """
     ibuf_bits = int(config.ibuf_kb * 1024 * 8)
     wbuf_bits = int(config.wbuf_kb * 1024 * 8)
@@ -321,9 +358,165 @@ def plan_tiling(
                 best, best_key = plan, key
 
     if best is None:
-        raise ValueError(
-            f"no feasible tiling for GEMM {workload.m}x{workload.n}x{workload.r} "
-            f"at {workload.input_bits}/{workload.weight_bits} bits within buffers "
-            f"IBUF={config.ibuf_kb}KB WBUF={config.wbuf_kb}KB OBUF={config.obuf_kb}KB"
-        )
+        raise _no_feasible_tiling(workload, config)
     return best
+
+
+def search_tiling_scalar(
+    workload: GemmWorkload,
+    config: BitFusionConfig,
+    orders: tuple[LoopOrder, ...],
+) -> TilingPlan:
+    """Reference multi-order search: best scalar plan over ``orders``.
+
+    Ties between orders break towards the earliest order in ``orders``,
+    matching Python ``min`` over per-order winners.
+    """
+    if not orders:
+        raise ValueError("at least one loop order must be considered")
+    plans = [plan_tiling_scalar(workload, config, loop_order=order) for order in orders]
+    return min(plans, key=lambda plan: (plan.total_dram_bits, plan.tile_count))
+
+
+#: Grid traffic totals are scored in ``int64``; a workload whose worst-case
+#: candidate traffic could exceed this bound falls back to the scalar search
+#: (Python ints never overflow).  The margin of 2 bits absorbs the final
+#: four-term sum.
+_INT64_SAFE_BOUND = 1 << 62
+
+
+def _int64_safe(workload: GemmWorkload) -> bool:
+    """Whether every candidate's traffic terms provably fit in ``int64``.
+
+    Worst cases over the whole grid: weights re-fetched once per ``R`` tile
+    (at most ``r`` of them), inputs once per ``M`` tile (at most ``m``),
+    partial sums spilled once per extra ``N`` tile (at most ``n``), and the
+    tile count bounded by ``m * n * r``.
+    """
+    partial_bits = workload.m * workload.r * PARTIAL_SUM_BITS
+    worst = max(
+        workload.weight_footprint_bits * workload.r,
+        workload.input_footprint_bits * workload.m,
+        workload.output_footprint_bits + 2 * partial_bits * workload.n,
+        workload.m * workload.n * workload.r,
+    )
+    return 4 * worst < _INT64_SAFE_BOUND
+
+
+def search_tiling(
+    workload: GemmWorkload,
+    config: BitFusionConfig,
+    orders: tuple[LoopOrder, ...],
+) -> TilingPlan:
+    """Vectorized search over the full (tile_m x tile_n x loop_order) grid.
+
+    Scores every candidate cell at once with numpy: the buffer-feasibility
+    mask, the derived ``R`` tile, the per-order traffic formulas and the
+    ``(total_dram_bits, tile_count)`` tie-break key are all arrays, and the
+    winner is the first cell (in the scalar search's iteration order —
+    orders outermost, then tile_m and tile_n descending) achieving the
+    minimal key.  The returned plan is bit-identical to
+    :func:`search_tiling_scalar`: the winning cell's traffic is re-derived
+    with exact Python-integer arithmetic, so vectorization decides *which*
+    candidate wins but never touches the numbers stored in the plan.
+    """
+    if not orders:
+        raise ValueError("at least one loop order must be considered")
+    if not _int64_safe(workload):
+        return search_tiling_scalar(workload, config, orders)
+
+    ibuf_bits = int(config.ibuf_kb * 1024 * 8)
+    wbuf_bits = int(config.wbuf_kb * 1024 * 8)
+    obuf_bits = int(config.obuf_kb * 1024 * 8)
+
+    tile_m = np.asarray(tile_candidates(workload.m), dtype=np.int64)[:, None]
+    tile_n = np.asarray(tile_candidates(workload.n), dtype=np.int64)[None, :]
+
+    feasible = tile_m * tile_n * workload.weight_bits <= wbuf_bits
+    # Largest R tile the input and output scratchpads both allow (the
+    # divisors are >= 1 by construction: tile sizes and bitwidths are
+    # positive, and PARTIAL_SUM_BITS is a constant 32).
+    r_by_ibuf = ibuf_bits // (tile_n * workload.input_bits)
+    r_by_obuf = obuf_bits // (tile_m * PARTIAL_SUM_BITS)
+    tile_r = np.minimum(
+        np.minimum(r_by_ibuf, r_by_obuf), min(workload.r, (1 << 16) - 1)
+    )
+    feasible &= tile_r > 0
+    if not feasible.any():
+        raise _no_feasible_tiling(workload, config)
+
+    m_tiles = -(-workload.m // tile_m)
+    n_tiles = -(-workload.n // tile_n)
+    r_tiles = -(-workload.r // np.maximum(tile_r, 1))
+    tile_count = m_tiles * n_tiles * r_tiles
+
+    weight_bits = workload.weight_footprint_bits
+    input_bits = workload.input_footprint_bits
+    output_bits = workload.output_footprint_bits
+    partial_bits = workload.m * workload.r * PARTIAL_SUM_BITS
+    weight_refetch = np.where((m_tiles == 1) & (n_tiles == 1), 1, r_tiles)
+    input_refetch = np.where((n_tiles == 1) & (r_tiles == 1), 1, m_tiles)
+    spilled = 2 * partial_bits * np.maximum(0, n_tiles - 1)
+
+    totals = np.empty((len(orders),) + feasible.shape, dtype=np.int64)
+    for index, order in enumerate(orders):
+        if order is LoopOrder.OUTPUT_STATIONARY:
+            total = weight_bits * weight_refetch + input_bits * input_refetch + output_bits
+        elif order is LoopOrder.WEIGHT_STATIONARY:
+            total = weight_bits + input_bits * input_refetch + output_bits + spilled
+        elif order is LoopOrder.INPUT_STATIONARY:
+            total = weight_bits * weight_refetch + input_bits + output_bits + spilled
+        else:  # pragma: no cover - mirrors _traffic's guard
+            raise ValueError(f"unknown loop order {order}")
+        totals[index] = total
+
+    # Lexicographic argmin over (total_dram_bits, tile_count), first
+    # occurrence in C order — exactly the scalar search's "first strictly
+    # smaller key wins" semantics with orders outermost.
+    infinity = np.iinfo(np.int64).max
+    masked_totals = np.where(feasible[None, :, :], totals, infinity)
+    best_total = masked_totals.min()
+    on_best_total = masked_totals == best_total
+    masked_counts = np.where(
+        on_best_total, np.broadcast_to(tile_count[None, :, :], totals.shape), infinity
+    )
+    best_count = masked_counts.min()
+    winner = int(np.argmax(on_best_total & (masked_counts == best_count)))
+    order_index, m_index, n_index = np.unravel_index(winner, totals.shape)
+
+    # Re-derive the winner with exact integer arithmetic so the stored plan
+    # is bit-for-bit the scalar search's.
+    order = orders[order_index]
+    chosen_m = int(tile_m[m_index, 0])
+    chosen_n = int(tile_n[0, n_index])
+    chosen_r = int(tile_r[m_index, n_index])
+    chosen_m_tiles = ceil(workload.m / chosen_m)
+    chosen_n_tiles = ceil(workload.n / chosen_n)
+    chosen_r_tiles = ceil(workload.r / chosen_r)
+    weights, inputs, out_writes, out_reads = _traffic(
+        workload, order, chosen_m_tiles, chosen_n_tiles, chosen_r_tiles
+    )
+    return TilingPlan(
+        workload=workload,
+        loop_order=order,
+        tile_m=chosen_m,
+        tile_n=chosen_n,
+        tile_r=chosen_r,
+        dram_weight_bits=weights,
+        dram_input_bits=inputs,
+        dram_output_write_bits=out_writes,
+        dram_output_read_bits=out_reads,
+    )
+
+
+def plan_tiling(
+    workload: GemmWorkload,
+    config: BitFusionConfig,
+    loop_order: LoopOrder = LoopOrder.OUTPUT_STATIONARY,
+) -> TilingPlan:
+    """Find the minimum-traffic tiling of ``workload`` for one loop order.
+
+    Vectorized grid search (see :func:`search_tiling`); bit-identical to
+    :func:`plan_tiling_scalar`, the pure-Python reference oracle.
+    """
+    return search_tiling(workload, config, (loop_order,))

@@ -44,6 +44,12 @@ eventually LRU-evicted from disk).
   simulation-affecting configuration.  Block-key lookups fall back to this
   content-addressed level on a miss, so identical (layer, tiling) pairs
   dedupe across different networks in model-family sweeps.
+* **Tiling key** (:func:`~repro.session.engine.tiling_cache_key`): one
+  tiling search's inputs — GEMM shape and bitwidths, the loop orders
+  considered, and the scratchpad capacities.  The compiler consults this
+  memo (via :func:`~repro.session.engine.make_plan_resolver`) before every
+  search, so duplicate GEMM shapes — within a network, across networks,
+  and across sweep points that share buffer geometry — plan once.
 
 Parallel execution (``jobs > 1``) is warm-artifact aware: the session
 compiles centrally through the program cache, resolves warm blocks in the
@@ -81,7 +87,9 @@ from repro.session.engine import (
     execute_workload,
     execute_workload_cached,
     layer_cache_key,
+    make_plan_resolver,
     program_cache_key,
+    tiling_cache_key,
 )
 from repro.session.session import (
     EvaluationSession,
@@ -127,8 +135,10 @@ __all__ = [
     "get_default_session",
     "layer_cache_key",
     "load_network",
+    "make_plan_resolver",
     "network_digest",
     "program_cache_key",
+    "tiling_cache_key",
     "resolve_session",
     "set_default_session",
     "use_session",

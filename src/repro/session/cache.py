@@ -20,6 +20,14 @@ fingerprint-keyed interface:
   model-family sweeps (the entry is renamed to the requesting block on use);
 * ``network_result`` — a full composed/simulated
   :class:`~repro.sim.results.NetworkResult` (the baselines' unit of work);
+* ``tiling`` — one :class:`~repro.isa.tiling.TilingPlan`, keyed by the GEMM
+  shape + operand bitwidths + the loop orders searched + the scratchpad
+  capacities the search targeted (:func:`repro.session.engine.
+  tiling_cache_key`).  The compiler's dominant cost is the tiling search,
+  and duplicate GEMM shapes are everywhere — within a network (ResNet's
+  repeated blocks), across networks, and across sweep points that do not
+  vary the buffers — so memoizing plans here is what makes cold compiles
+  cheap and warm ones nearly free;
 * ``program_stats`` — lightweight instruction statistics (legacy kind,
   still readable).
 
@@ -51,6 +59,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.isa.program import Program
+from repro.isa.tiling import TilingPlan
 from repro.sim.results import (
     LayerResult,
     NetworkResult,
@@ -70,9 +79,10 @@ __all__ = [
 ]
 
 #: Version of the on-disk manifest schema; a mismatch triggers a rebuild.
-#: v2 added the content-addressed ``layer`` entry kind (schema 1 manifests
-#: rebuild cleanly — entry payloads are unchanged and stay readable).
-MANIFEST_SCHEMA_VERSION = 2
+#: v2 added the content-addressed ``layer`` entry kind; v3 added the
+#: ``tiling`` entry kind (older manifests rebuild cleanly — entry payloads
+#: are unchanged and stay readable).
+MANIFEST_SCHEMA_VERSION = 3
 
 _MANIFEST_NAME = "manifest.json"
 
@@ -175,19 +185,28 @@ class CacheStats:
     executed twice).
 
     Stage-level counters: ``programs`` tracks compile-stage cache traffic
-    (misses are compilations), ``blocks`` tracks block-key lookups of the
+    (misses are compilations), ``tilings`` tracks the tiling-plan memo the
+    compiler consults before every search (misses are actual searches —
+    the compiler's dominant cost — and hits are duplicate GEMM shapes
+    served from the memo), ``blocks`` tracks block-key lookups of the
     simulate-blocks stage (misses are per-block simulations) and ``layers``
     tracks the content-addressed layer-level fallback consulted on every
     block-key miss (hits are simulations avoided by cross-network layer
     dedupe).  ``workers`` tracks the parallel worker protocol.
+    ``compile_seconds`` accumulates the wall-clock time spent inside
+    ``FusionCompiler.compile`` (cache misses only), surfaced by the report
+    footer's ``compile time`` line so compile-cost regressions are visible
+    on every run.
     """
 
     hits: int = 0
     misses: int = 0
     deduped: int = 0
     disk_hits: int = 0
+    compile_seconds: float = 0.0
     executions: dict[str, int] = field(default_factory=dict)
     programs: StageStats = field(default_factory=StageStats)
+    tilings: StageStats = field(default_factory=StageStats)
     blocks: StageStats = field(default_factory=StageStats)
     layers: StageStats = field(default_factory=StageStats)
     workers: WorkerStats = field(default_factory=WorkerStats)
@@ -222,6 +241,7 @@ class CacheStats:
             f"(hit rate {self.hit_rate:.0%})"
         ]
         lines.append(self.programs.summary("program cache", "compiles"))
+        lines.append(self.tilings.summary("tiling memo", "tiling searches"))
         lines.append(self.blocks.summary("block cache", "block simulations"))
         lines.append(self.layers.summary("layer dedup", "layer-key misses"))
         return "\n".join(lines)
@@ -273,6 +293,7 @@ _SERIALIZERS = {
     "layer": (layer_result_to_dict, layer_result_from_dict),
     "program": (Program.to_dict, Program.from_dict),
     "program_stats": (_program_stats_to_dict, _program_stats_from_dict),
+    "tiling": (TilingPlan.to_dict, TilingPlan.from_dict),
 }
 
 
@@ -285,6 +306,8 @@ def _kind_of(value: Any) -> str:
         return "program"
     if isinstance(value, ProgramStats):
         return "program_stats"
+    if isinstance(value, TilingPlan):
+        return "tiling"
     raise TypeError(f"cannot cache values of type {type(value).__name__}")
 
 

@@ -39,8 +39,8 @@ Parallel execution is **warm-artifact aware**.  The main process plans each
 uncached workload against the cache (:func:`plan_workload`): it compiles
 centrally through the program cache (structure-only keys, exactly-once per
 network), resolves every block whose result is already cached, and ships a
-worker a :class:`WorkUnit` carrying the serialized program plus only the
-indices of the genuinely missing blocks.  Workers
+worker a :class:`WorkUnit` carrying the program *sliced down to the
+genuinely missing blocks* (plus their full-program indices).  Workers
 (:func:`execute_work_unit`) simulate just those blocks and return
 :class:`WorkResult`\\ s; the main process stores the fresh records and
 composes (:func:`compose_plan`).  Worker failures never poison the pool
@@ -52,8 +52,10 @@ stored.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, replace
-from typing import Any
+from functools import lru_cache
+from typing import Any, Callable
 
 from repro.baselines.base import AcceleratorModel
 from repro.baselines.eyeriss import EyerissModel
@@ -63,8 +65,10 @@ from repro.baselines.temporal import TemporalAcceleratorModel
 from repro.core.accelerator import BitFusionAccelerator
 from repro.core.config import BitFusionConfig
 from repro.fingerprint import fingerprint_payload
-from repro.isa.compiler import FusionCompiler
+from repro.isa.compiler import FusionCompiler, PlanResolver
+from repro.isa.instructions import LoopOrder
 from repro.isa.program import CompiledBlock, Program
+from repro.isa.tiling import GemmWorkload, TilingPlan
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
 from repro.session.workload import Workload, load_network, network_digest
 from repro.sim.executor import BitFusionSimulator
@@ -75,6 +79,7 @@ __all__ = [
     "WorkResult",
     "WorkUnit",
     "WorkloadExecutionError",
+    "audit_workload_cache",
     "build_model",
     "block_cache_key",
     "compile_program",
@@ -84,9 +89,11 @@ __all__ = [
     "execute_workload",
     "execute_workload_cached",
     "layer_cache_key",
+    "make_plan_resolver",
     "obtain_program",
     "plan_workload",
     "program_cache_key",
+    "tiling_cache_key",
     "try_compose_from_cache",
 ]
 
@@ -135,13 +142,86 @@ def _require_bitfusion(workload: Workload) -> None:
         )
 
 
-def compile_program(workload: Workload) -> Program:
-    """Compile a Bit Fusion workload to its Fusion-ISA program (stage 1)."""
+def tiling_cache_key(
+    gemm: GemmWorkload, orders: tuple[LoopOrder, ...], config: BitFusionConfig
+) -> str:
+    """Cache key of one tiling search: GEMM content + orders + buffer geometry.
+
+    Hashes exactly the search's inputs — the GEMM shape and operand
+    bitwidths (:meth:`~repro.isa.tiling.GemmWorkload.to_dict`), the loop
+    orders considered (the ``enable_loop_ordering`` flag in disguise, so an
+    ablation run never shares plans with an optimized one) and the
+    scratchpad capacities the search targets.  Deliberately *excluded*:
+    array geometry, bandwidth, technology, frequency, batch size (already
+    folded into the GEMM ``R`` dimension) and the network/layer names —
+    duplicate GEMM shapes within a network, across networks and across
+    sweep points that share buffer geometry all collapse onto one entry.
+    """
+    return fingerprint_payload(
+        {
+            "artifact": "tiling",
+            "gemm": gemm.to_dict(),
+            "orders": [order.value for order in orders],
+            "buffers": {
+                "ibuf_kb": config.ibuf_kb,
+                "wbuf_kb": config.wbuf_kb,
+                "obuf_kb": config.obuf_kb,
+            },
+        }
+    )
+
+
+def make_plan_resolver(
+    config: BitFusionConfig, cache: ResultCache, stats: CacheStats
+) -> PlanResolver:
+    """A compiler plan resolver backed by the session's artifact cache.
+
+    Installed into :class:`~repro.isa.compiler.FusionCompiler` by
+    :func:`compile_program`: every tiling search first consults the cache
+    under :func:`tiling_cache_key` and only runs (then stores its plan) on
+    a genuine miss.  Hit/miss traffic lands in ``stats.tilings``.
+    """
+
+    def resolve(
+        gemm: GemmWorkload,
+        orders: tuple[LoopOrder, ...],
+        compute: Callable[[], TilingPlan],
+    ) -> TilingPlan:
+        key = tiling_cache_key(gemm, orders, config)
+        value, source = cache.get_with_source(key)
+        if value is not None:
+            stats.tilings.record_hit(source)
+            return value
+        stats.tilings.record_miss()
+        plan = compute()
+        cache.put(key, plan, {"artifact": "tiling", "gemm": gemm.to_dict()})
+        return plan
+
+    return resolve
+
+
+def compile_program(
+    workload: Workload,
+    cache: ResultCache | None = None,
+    stats: CacheStats | None = None,
+) -> Program:
+    """Compile a Bit Fusion workload to its Fusion-ISA program (stage 1).
+
+    With a ``cache`` (and ``stats``), the compiler's tiling searches are
+    memoized through the cache's ``tiling`` level — duplicate GEMM shapes
+    skip the search entirely, and plans persist to disk alongside the other
+    artifacts.  Memoized and unmemoized compilations emit byte-identical
+    programs (plans serialize losslessly).
+    """
     _require_bitfusion(workload)
+    resolver: PlanResolver | None = None
+    if cache is not None:
+        resolver = make_plan_resolver(workload.config, cache, stats or CacheStats())
     compiler = FusionCompiler(
         workload.config,
         enable_loop_ordering=workload.enable_loop_ordering,
         enable_layer_fusion=workload.enable_layer_fusion,
+        plan_resolver=resolver,
     )
     return compiler.compile(load_network(workload), batch_size=workload.batch_size)
 
@@ -197,7 +277,9 @@ def obtain_program(
         stats.programs.record_hit(source)
         return value, source
     stats.programs.record_miss()
-    program = compile_program(workload)
+    started = time.perf_counter()
+    program = compile_program(workload, cache, stats)
+    stats.compile_seconds += time.perf_counter() - started
     cache.put(key, program, {**workload.describe(), "artifact": "program"})
     return program, "miss"
 
@@ -205,6 +287,7 @@ def obtain_program(
 # ---------------------------------------------------------------------- #
 # Stage 2: simulate-blocks
 # ---------------------------------------------------------------------- #
+@lru_cache(maxsize=None)
 def _sim_config_payload(config: BitFusionConfig) -> dict[str, Any]:
     """The configuration parameters that affect one block's simulation.
 
@@ -214,6 +297,11 @@ def _sim_config_payload(config: BitFusionConfig) -> dict[str, Any]:
     (transfer cycles) and technology node (energy scaling).  Deliberately
     excluded: frequency and the configuration name (composition metadata
     only) and the batch size (already folded into the block's tiling).
+
+    Memoized per configuration (``BitFusionConfig`` is frozen, hence
+    hashable): the payload rides every block- and layer-level cache key,
+    once per block per lookup.  Callers never mutate the returned dict —
+    it feeds straight into :func:`~repro.fingerprint.fingerprint_payload`.
     """
     return {
         "rows": config.rows,
@@ -350,6 +438,46 @@ def try_compose_from_cache(
     return _compose(workload, program, [layer for layer, _, _ in found]), from_disk
 
 
+def audit_workload_cache(workload: Workload, cache: ResultCache) -> tuple[str, int, int]:
+    """How much of one workload's work the cache already holds (read-only).
+
+    Returns ``(state, missing_blocks, total_blocks)`` where ``state`` is
+
+    * ``"cached"`` — the workload would execute without any fresh work: a
+      whole result is stored (baselines), or every artifact needed to
+      compose one is (Bit Fusion: program plus all block/layer results);
+    * ``"partial"`` — the compiled program is cached but
+      ``missing_blocks`` of its ``total_blocks`` blocks would simulate;
+    * ``"cold"`` — nothing usable is cached (for Bit Fusion,
+      ``total_blocks`` is 0 because without the program the block count is
+      unknown without compiling — which an audit must never do).
+
+    No statistics are recorded and nothing executes.  Only the program
+    payload is read (its blocks are needed to derive the block/layer
+    keys); block and layer results are probed for *existence* without
+    deserializing or memory-promoting them, so auditing a planned grid
+    against a large cache directory stays cheap — ``python -m
+    repro.harness sweep --dry-run`` uses this to diff a grid against a
+    ``--cache-dir`` before committing to the run.
+    """
+    if workload.fingerprint() in cache:
+        return "cached", 0, 0
+    if workload.platform != "bitfusion":
+        return "cold", 0, 0
+    program = cache.get(program_cache_key(workload))
+    if program is None:
+        return "cold", 0, 0
+    missing = 0
+    for compiled in program:
+        if (
+            block_cache_key(compiled.fingerprint(), workload.config) not in cache
+            and layer_cache_key(compiled, workload.config) not in cache
+        ):
+            missing += 1
+    state = "cached" if missing == 0 else "partial"
+    return state, missing, len(program)
+
+
 def execute_workload_cached(
     workload: Workload, cache: ResultCache, stats: CacheStats
 ) -> NetworkResult:
@@ -403,15 +531,18 @@ class WorkloadExecutionError(RuntimeError):
 
 @dataclass(frozen=True)
 class WorkUnit:
-    """What the main process ships a pool worker: program + missing blocks.
+    """What the main process ships a pool worker: just the missing blocks.
 
-    ``program_payload`` is the centrally compiled (or cache-restored)
-    program serialized via :meth:`~repro.isa.program.Program.to_dict` —
-    workers rebuild it with ``Program.from_dict``, so what they simulate is
-    exactly the artifact the cache stores.  ``simulate_indices`` names the
-    blocks whose results were *not* already cached; everything else stays in
-    the main process.  Baseline workloads ship with ``program_payload=None``
-    and execute whole.
+    ``program_payload`` is a *slice* of the centrally compiled (or
+    cache-restored) program — ``Program.to_dict`` shape, but its ``blocks``
+    list holds only the blocks at ``simulate_indices`` (in that order), so
+    a wide, mostly-warm sweep never pickles the blocks the cache already
+    resolved.  Workers rebuild the slice with ``Program.from_dict`` and
+    simulate every shipped block; block simulation is independent, so a
+    sliced program simulates exactly like the full artifact would.
+    ``simulate_indices`` keeps the blocks' positions in the *full* program —
+    the reply is keyed by them so the main process can compose.  Baseline
+    workloads ship with ``program_payload=None`` and execute whole.
     """
 
     workload: Workload
@@ -444,9 +575,11 @@ def execute_work_unit(unit: WorkUnit) -> WorkResult:
     try:
         if unit.program_payload is None:
             return WorkResult(result=execute_workload(unit.workload))
+        # The payload is sliced to exactly the missing blocks; simulate all
+        # of them and map the results back to their full-program indices.
         program = Program.from_dict(unit.program_payload)
         simulator = BitFusionSimulator(unit.workload.config)
-        layers = simulator.run_selected_blocks(program, unit.simulate_indices)
+        layers = simulator.run_selected_blocks(program, range(len(program)))
         return WorkResult(layers=tuple(zip(unit.simulate_indices, layers)))
     except Exception as error:  # noqa: BLE001 — must not escape into pool.map
         return WorkResult(
@@ -476,9 +609,22 @@ class WorkPlan:
         return self.program is None or bool(self.simulate_indices)
 
     def work_unit(self) -> WorkUnit:
+        """The unit to ship: the program sliced to only the missing blocks.
+
+        Slicing keeps pickle traffic proportional to the genuinely missing
+        work instead of the whole program — on a wide, mostly-warm parallel
+        sweep the difference is most of the payload.
+        """
+        if self.program is None:
+            return WorkUnit(workload=self.workload, program_payload=None)
+        blocks = self.program.blocks
+        payload = {
+            "network_name": self.program.network_name,
+            "blocks": [blocks[index].to_dict() for index in self.simulate_indices],
+        }
         return WorkUnit(
             workload=self.workload,
-            program_payload=None if self.program is None else self.program.to_dict(),
+            program_payload=payload,
             simulate_indices=self.simulate_indices,
         )
 

@@ -30,10 +30,10 @@ from repro.core.config import BitFusionConfig
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
 from repro.session.engine import (
     WorkloadExecutionError,
-    compile_program,
     compose_plan,
     execute_work_unit,
     execute_workload_cached,
+    obtain_program,
     plan_workload,
     program_cache_key,
     try_compose_from_cache,
@@ -325,20 +325,15 @@ class EvaluationSession:
         report that already simulated a benchmark never recompiles it just
         to count instructions.
         """
-        key = program_cache_key(workload)
-        value, source = self.cache.get_with_source(key)
-        if value is not None:
+        program, source = obtain_program(workload, self.cache, self.stats)
+        if source == "miss":
+            self.stats.misses += 1
+            self.stats.record_execution(program_cache_key(workload))
+            self.cache.flush()
+        else:
             self.stats.hits += 1
             if source == "disk":
                 self.stats.disk_hits += 1
-            self.stats.programs.record_hit(source)
-            return ProgramStats.from_program(value)
-        self.stats.misses += 1
-        self.stats.programs.record_miss()
-        program = compile_program(workload)
-        self.stats.record_execution(key)
-        self.cache.put(key, program, {**workload.describe(), "artifact": "program"})
-        self.cache.flush()
         return ProgramStats.from_program(program)
 
     # ------------------------------------------------------------------ #

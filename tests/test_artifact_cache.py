@@ -32,9 +32,11 @@ from repro.session import (
     estimated_cost,
     execute_workload,
     layer_cache_key,
+    tiling_cache_key,
 )
 from repro.session.cache import (
     MANIFEST_SCHEMA_VERSION,
+    CacheStats,
     ProgramStats,
     network_result_to_dict,
 )
@@ -363,3 +365,165 @@ class TestLongestJobFirst:
         assert [r.network_name for r in results] == [
             load_network(w).name for w in workloads
         ]
+
+
+class TestTilingMemo:
+    """Exact hit/miss accounting of the compiler's tiling-plan memo."""
+
+    @staticmethod
+    def _search_key_sequence(workload) -> list[str]:
+        """The memo keys one compile of ``workload`` looks up, in order."""
+        from repro.isa.compiler import FusionCompiler
+
+        keys: list[str] = []
+
+        def recorder(gemm, orders, compute):
+            keys.append(tiling_cache_key(gemm, orders, workload.config))
+            return compute()
+
+        FusionCompiler(
+            workload.config,
+            enable_loop_ordering=workload.enable_loop_ordering,
+            enable_layer_fusion=workload.enable_layer_fusion,
+            plan_resolver=recorder,
+        ).compile(load_network(workload), batch_size=workload.batch_size)
+        return keys
+
+    @classmethod
+    def _unique_search_keys(cls, workload) -> tuple[int, int]:
+        """(total searches, unique memo keys) one compile of ``workload`` makes."""
+        keys = cls._search_key_sequence(workload)
+        return len(keys), len(set(keys))
+
+    def test_resnet_duplicate_shapes_hit_the_memo_exactly(self):
+        # ResNet-18's repeated residual blocks: 21 blocks, 12 unique GEMM
+        # shapes — the duplicates must be memo hits, never fresh searches.
+        workload = Workload.bitfusion("ResNet-18", batch_size=16)
+        searches, unique = self._unique_search_keys(workload)
+        assert (searches, unique) == (21, 12)
+        session = EvaluationSession()
+        session.compile_stats(workload)
+        assert session.stats.tilings.misses == unique
+        assert session.stats.tilings.hits == searches - unique
+        assert session.stats.tilings.lookups == searches
+
+    def test_memoized_compile_is_byte_identical(self):
+        workload = Workload.bitfusion("ResNet-18", batch_size=16)
+        session = EvaluationSession()
+        cache, stats = session.cache, session.stats
+        from repro.session.engine import program_cache_key
+
+        session.compile_stats(workload)
+        memoized = cache.get(program_cache_key(workload))
+        assert memoized.fingerprint() == compile_program(workload).fingerprint()
+
+    def test_tiling_plans_shared_across_networks_and_sweep_points(self, tmp_path):
+        # Bandwidth/technology-only variations share the program key and
+        # never even reach the tiling memo; a buffer variation recompiles
+        # but an identical-buffer workload of a *different batch* re-uses
+        # nothing (the batch folds into the GEMM R dimension) while a
+        # same-shape recompile across sessions hits the memo from disk.
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        with EvaluationSession(cache_dir=tmp_path) as cold:
+            cold.run(workload)
+            cold_searches = cold.stats.tilings.misses
+            assert cold_searches > 0
+            assert cold.stats.tilings.hits == 0
+
+        with EvaluationSession(cache_dir=tmp_path) as warm:
+            # Same structure, fresh process: the program cache serves the
+            # compile outright, so the memo is not consulted at all...
+            warm.run(workload)
+            assert warm.stats.tilings.lookups == 0
+            # ...but a config variation that changes the *sim* key and not
+            # the buffers (bandwidth) recompiles nothing either.
+            varied = Workload.bitfusion(
+                "LeNet-5",
+                batch_size=4,
+                config=workload.config.with_bandwidth(256),
+            )
+            warm.run(varied)
+            assert warm.stats.programs.misses == 0
+            assert warm.stats.tilings.lookups == 0
+
+        with EvaluationSession(cache_dir=tmp_path) as flags:
+            # Disabling loop ordering searches a different order tuple:
+            # every lookup must miss (no key collision with the optimized
+            # plans), then serve later identical compiles.
+            ablated = Workload.bitfusion(
+                "LeNet-5", batch_size=4, enable_loop_ordering=False
+            )
+            flags.run(ablated)
+            assert flags.stats.tilings.hits == 0
+            assert flags.stats.tilings.misses > 0
+
+    def test_warm_disk_memo_serves_recompiles_across_program_keys(self, tmp_path):
+        # Toggling layer fusion changes the *program* key (so the second
+        # workload genuinely recompiles) but not a GEMM search's inputs —
+        # every compute-layer search of the recompile must be served from
+        # the on-disk memo, and only the standalone pooling/activation
+        # blocks the unfused program adds may search fresh.
+        fused = Workload.bitfusion("LeNet-5", batch_size=4)
+        unfused = Workload.bitfusion("LeNet-5", batch_size=4, enable_layer_fusion=False)
+        fused_keys = self._search_key_sequence(fused)
+        unfused_keys = self._search_key_sequence(unfused)
+        assert set(unfused_keys) - set(fused_keys)  # unfused adds aux blocks
+
+        # Replay the expected memo traffic exactly: keys already on disk
+        # (from the fused compile) hit from disk once then from memory;
+        # genuinely new keys miss once then hit from memory.
+        expected_misses = expected_hits = expected_disk_hits = 0
+        on_disk, in_memory = set(fused_keys), set()
+        for key in unfused_keys:
+            if key in in_memory:
+                expected_hits += 1
+            elif key in on_disk:
+                expected_hits += 1
+                expected_disk_hits += 1
+                in_memory.add(key)
+            else:
+                expected_misses += 1
+                on_disk.add(key)
+                in_memory.add(key)
+
+        with EvaluationSession(cache_dir=tmp_path) as first:
+            first.run(fused)
+        with EvaluationSession(cache_dir=tmp_path) as second:
+            second.run(unfused)
+            assert second.stats.programs.misses == 1
+            assert second.stats.tilings.misses == expected_misses
+            assert second.stats.tilings.hits == expected_hits
+            assert second.stats.tilings.disk_hits == expected_disk_hits
+
+    def test_tiling_entries_persist_with_their_own_kind(self, tmp_path):
+        with EvaluationSession(cache_dir=tmp_path) as session:
+            session.run(Workload.bitfusion("LeNet-5", batch_size=4))
+        summary = ResultCache(tmp_path).entry_summary()
+        assert "tiling" in summary
+        assert summary["tiling"]["entries"] > 0
+        assert summary["tiling"]["bytes"] > 0
+
+    def test_plan_resolver_round_trip_is_lossless(self, tmp_path):
+        # A plan served from disk must equal the freshly computed one —
+        # that is what makes memoized compilation byte-identical.
+        from repro.core.config import BitFusionConfig
+        from repro.isa.instructions import LoopOrder
+        from repro.isa.tiling import GemmWorkload, search_tiling
+        from repro.session.engine import make_plan_resolver
+
+        config = BitFusionConfig.eyeriss_matched(batch_size=16)
+        gemm = GemmWorkload(m=64, n=128, r=1024, input_bits=8, weight_bits=4, output_bits=16)
+        orders = tuple(LoopOrder)
+        fresh = search_tiling(gemm, config, orders)
+
+        cache, stats = ResultCache(tmp_path), CacheStats()
+        resolver = make_plan_resolver(config, cache, stats)
+        assert resolver(gemm, orders, lambda: fresh) == fresh
+        assert stats.tilings.misses == 1
+
+        reread_stats = CacheStats()
+        reread = make_plan_resolver(config, ResultCache(tmp_path), reread_stats)
+        served = reread(gemm, orders, lambda: pytest.fail("memo should have served"))
+        assert served == fresh
+        assert reread_stats.tilings.hits == 1
+        assert reread_stats.tilings.disk_hits == 1

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.dse import (
     SweepSpec,
@@ -133,6 +134,75 @@ class TestPareto:
         assert front == [items[0], items[1]]
 
 
+class TestParetoSortBasedEquivalence:
+    """The sort-based frontier must agree exactly with the quadratic oracle."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    def test_matches_quadratic_reference(self, width, data):
+        from repro.dse.pareto import pareto_indices_quadratic
+
+        values = st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        )
+        vectors = data.draw(
+            st.lists(
+                st.tuples(*([values] * width)),
+                min_size=0,
+                max_size=60,
+            )
+        )
+        assert pareto_indices(vectors) == pareto_indices_quadratic(vectors)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        data=st.data(),
+    )
+    def test_matches_quadratic_on_tie_heavy_grids(self, data):
+        # Small integer coordinates force many exact ties and duplicate
+        # vectors — the cases where a sloppy sort-based scan goes wrong.
+        from repro.dse.pareto import pareto_indices_quadratic
+
+        width = data.draw(st.integers(min_value=1, max_value=3))
+        coords = st.integers(min_value=0, max_value=3).map(float)
+        vectors = data.draw(
+            st.lists(st.tuples(*([coords] * width)), min_size=0, max_size=40)
+        )
+        assert pareto_indices(vectors) == pareto_indices_quadratic(vectors)
+
+    def test_mismatched_vector_lengths_raise(self):
+        from repro.dse.pareto import pareto_indices_quadratic
+
+        with pytest.raises(ValueError):
+            pareto_indices([(1.0, 2.0), (1.0,)])
+        with pytest.raises(ValueError):
+            pareto_indices_quadratic([(1.0, 2.0), (1.0,)])
+
+    def test_nan_objectives_match_quadratic_semantics(self):
+        # A NaN-carrying point neither dominates nor is dominated under the
+        # oracle's comparisons, so it always survives; the fast path must
+        # agree instead of silently dropping it.
+        from repro.dse.pareto import pareto_indices_quadratic
+
+        nan = float("nan")
+        for vectors in (
+            [(1.0, nan)],
+            [(1.0, nan), (0.5, 0.5)],
+            [(nan,), (1.0,), (2.0,)],
+            [(1.0, 2.0, 3.0), (nan, 0.1, 0.1), (1.0, 2.0, 3.0)],
+        ):
+            assert pareto_indices(vectors) == pareto_indices_quadratic(vectors)
+
+    def test_large_frontier_scales(self):
+        # A diagonal grid where every point is on the frontier — the worst
+        # case for the frontier-scan fallback — still reduces instantly.
+        points = [(float(i), float(2000 - i), 1.0) for i in range(2000)]
+        assert pareto_indices(points) == list(range(2000))
+
+
 class TestSweepExecution:
     def test_technology_sweep_compiles_each_network_once(self):
         spec = small_spec(
@@ -232,3 +302,46 @@ class TestCli:
     def test_sweep_rejects_missing_spec(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["sweep", str(tmp_path / "missing.json")])
+
+    def test_dry_run_reports_cold_then_fully_cached(self, tmp_path, spec_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        assert main(["sweep", str(spec_path), "--dry-run", "--cache-dir", str(cache_dir)]) == 0
+        cold = capsys.readouterr().out
+        assert "dry run" in cold
+        assert "cold: 2 workloads" in cold
+        assert "planned grid already cached: 0/2 points (0%)" in cold
+        # Nothing executed: no artifact entries appear (opening the cache
+        # directory may rebuild its — empty — manifest index, nothing more).
+        assert {p.name for p in cache_dir.glob("*.json")} <= {"manifest.json"}
+
+    def test_dry_run_after_real_sweep_sees_everything_cached(
+        self, tmp_path, spec_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", str(spec_path), "--dry-run", "--cache-dir", str(cache_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert "fully cached: 2 workloads" in warm
+        assert "cold: 0 workloads" in warm
+        assert "planned grid already cached: 2/2 points (100%)" in warm
+        assert "tiling:" in warm  # the cache summary names the new kind
+
+    def test_dry_run_without_cache_dir_counts_everything_cold(self, spec_path, capsys):
+        assert main(["sweep", str(spec_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "cold: 2 workloads" in out
+        assert "(no --cache-dir given: every workload counts as cold)" in out
+
+    def test_dry_run_rejects_missing_cache_dir(self, tmp_path, spec_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    str(spec_path),
+                    "--dry-run",
+                    "--cache-dir",
+                    str(tmp_path / "nope"),
+                ]
+            )

@@ -335,6 +335,7 @@ class TestReportAcceptance:
                 if not line.startswith("_(generated in")
                 and not line.startswith("worker processes")
                 and not line.startswith("parallel workers")
+                and not line.startswith("compile time")
             ]
 
         assert tables(serial) == tables(parallel)
