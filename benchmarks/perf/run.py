@@ -2,7 +2,7 @@
 
 ``python benchmarks/perf/run.py`` measures the scenarios the ROADMAP's
 "runs as fast as the hardware allows" goal cares about and emits one
-trajectory point as JSON (``BENCH_5.json`` by default):
+trajectory point as JSON (``BENCH_6.json`` by default):
 
 * **cold compile** — every zoo network through a fresh ``FusionCompiler``
   (vectorized tiling search, no memoization), total and per network;
@@ -14,8 +14,16 @@ trajectory point as JSON (``BENCH_5.json`` by default):
 * **compile speedup vs the scalar baseline** — reconstructed old cost
   (emission + scalar searches) over the new memoized cost; the repo's
   acceptance bar is >= 3x;
+* **batched simulation** — every zoo block simulated through the scalar
+  ``run_block`` oracle and through the vectorized batched executor, both
+  as a single-config batch and as a configs x blocks grid (the
+  bandwidth-sweep fast path); the speedups are machine-independent ratios
+  and the repo's acceptance bar is >= 5x on the grid;
 * **warm/cold run_many** — a small evaluation batch through an
   ``EvaluationSession``, cold then fully warm;
+* **parallel run_many (--jobs)** — the same batch over a two-worker pool,
+  cold and partially warm (one workload's artifacts pre-seeded), so the
+  cache-aware worker protocol's cost stays tracked;
 * **sweep grid expansion** — ``SweepSpec.expand`` on a few-hundred-point
   spec;
 * **Pareto reduction** — the sort-based frontier on synthetic points.
@@ -54,6 +62,8 @@ from repro.isa.tiling import search_tiling, search_tiling_scalar  # noqa: E402
 from repro.session import EvaluationSession, Workload  # noqa: E402
 from repro.session.cache import CacheStats, ResultCache  # noqa: E402
 from repro.session.engine import make_plan_resolver  # noqa: E402
+from repro.sim.batched import simulate_blocks_batched, simulate_blocks_grid  # noqa: E402
+from repro.sim.executor import BitFusionSimulator  # noqa: E402
 
 #: Networks the run_many scenario evaluates — small enough to keep the
 #: suite fast, two networks so the batch genuinely exercises scheduling.
@@ -156,6 +166,45 @@ def bench_tiling_memo_warm() -> dict:
     }
 
 
+def bench_sim(repeats: int) -> dict:
+    """Batched vs scalar simulation of every zoo block (1-D and grid)."""
+    config = BitFusionConfig.eyeriss_matched(batch_size=16)
+    blocks = []
+    for name in models.BENCHMARKS:
+        blocks.extend(FusionCompiler(config).compile(models.load(name), batch_size=16))
+
+    batched_sim = BitFusionSimulator(config)
+    scalar_sim = BitFusionSimulator(config, batched=False)
+    scalar_s = _best_of(repeats, lambda: [scalar_sim.run_block(b) for b in blocks])
+    batched_s = _best_of(repeats, lambda: simulate_blocks_batched(batched_sim, blocks))
+
+    # The bandwidth-sweep fast path: one block batch under several sim
+    # configs in a single 2-D pass (extraction amortized across rows).
+    grid_configs = [
+        config,
+        config.with_bandwidth(128),
+        config.with_bandwidth(512),
+        config.with_bandwidth(768),
+    ]
+    grid_sims = [BitFusionSimulator(c) for c in grid_configs]
+    grid_oracles = [BitFusionSimulator(c, batched=False) for c in grid_configs]
+    grid_scalar_s = _best_of(
+        repeats,
+        lambda: [[sim.run_block(b) for b in blocks] for sim in grid_oracles],
+    )
+    grid_batched_s = _best_of(repeats, lambda: simulate_blocks_grid(grid_sims, blocks))
+    return {
+        "sim_blocks": len(blocks),
+        "sim_scalar_s": scalar_s,
+        "sim_batched_s": batched_s,
+        "sim_batched_speedup": scalar_s / batched_s,
+        "sim_grid_configs": len(grid_configs),
+        "sim_grid_scalar_s": grid_scalar_s,
+        "sim_grid_batched_s": grid_batched_s,
+        "sim_grid_speedup": grid_scalar_s / grid_batched_s,
+    }
+
+
 def bench_run_many(repeats: int) -> dict:
     workloads = [
         Workload.bitfusion(name, batch_size=_BATCH) for name in _RUN_MANY_NETWORKS
@@ -177,6 +226,37 @@ def bench_run_many(repeats: int) -> dict:
         "run_many_warm_s": warm_s,
         "run_many_warm_speedup": cold_s / warm_s,
         "run_many_warm_hits": warm_hits,
+    }
+
+
+def bench_run_many_jobs(repeats: int) -> dict:
+    """The ``--jobs`` scenario: parallel run_many, cold and partially warm.
+
+    Pool start-up (worker process spawn + imports) is part of the cold
+    number on purpose — it is what a user of ``--jobs`` actually pays.  The
+    partially-warm run pre-seeds one workload's artifacts through a serial
+    session sharing the same cache, so the parallel path's warm-artifact
+    resolution (central planning, sliced work units) stays tracked.
+    """
+    workloads = [
+        Workload.bitfusion(name, batch_size=_BATCH) for name in _RUN_MANY_NETWORKS
+    ]
+    cold_s = partial_s = float("inf")
+    for _ in range(repeats):
+        with EvaluationSession(jobs=2) as session:
+            start = time.perf_counter()
+            session.run_many(workloads)
+            cold_s = min(cold_s, time.perf_counter() - start)
+        cache = ResultCache()
+        with EvaluationSession(cache=cache) as seeder:
+            seeder.run(workloads[0])
+        with EvaluationSession(jobs=2, cache=cache) as session:
+            start = time.perf_counter()
+            session.run_many(workloads)
+            partial_s = min(partial_s, time.perf_counter() - start)
+    return {
+        "run_many_jobs2_cold_s": cold_s,
+        "run_many_jobs2_partial_warm_s": partial_s,
     }
 
 
@@ -212,12 +292,14 @@ def run_suite(repeats: int) -> dict:
     metrics: dict = {}
     metrics.update(bench_compile(repeats))
     metrics.update(bench_tiling_memo_warm())
+    metrics.update(bench_sim(repeats))
     metrics.update(bench_run_many(repeats))
+    metrics.update(bench_run_many_jobs(repeats))
     metrics.update(bench_sweep_expand(repeats))
     metrics.update(bench_pareto(repeats))
     return {
         "bench": "repro-perf",
-        "trajectory_point": 5,
+        "trajectory_point": 6,
         "repro_version": __version__,
         "metrics": metrics,
         "environment": {
@@ -262,8 +344,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         metavar="PATH",
-        default=str(REPO_ROOT / "BENCH_5.json"),
-        help="where to write the trajectory point (default: BENCH_5.json at the repo root)",
+        default=str(REPO_ROOT / "BENCH_6.json"),
+        help="where to write the trajectory point (default: BENCH_6.json at the repo root)",
     )
     parser.add_argument(
         "--check",
@@ -306,8 +388,18 @@ def main(argv: list[str] | None = None) -> int:
         f"hit rate {metrics['tiling_memo_warm_hit_rate']:.0%}"
     )
     print(
+        f"batched sim speedup over {metrics['sim_blocks']} zoo blocks: "
+        f"{metrics['sim_batched_speedup']:.1f}x single-config, "
+        f"{metrics['sim_grid_speedup']:.1f}x on a "
+        f"{metrics['sim_grid_configs']}-config grid"
+    )
+    print(
         f"run_many: cold {metrics['run_many_cold_s'] * 1e3:.0f} ms, "
         f"warm {metrics['run_many_warm_s'] * 1e3:.1f} ms"
+    )
+    print(
+        f"run_many --jobs 2: cold {metrics['run_many_jobs2_cold_s'] * 1e3:.0f} ms, "
+        f"partially warm {metrics['run_many_jobs2_partial_warm_s'] * 1e3:.0f} ms"
     )
 
     if args.check:

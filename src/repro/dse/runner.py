@@ -151,7 +151,13 @@ def run_sweep(
     centrally and ships workers only cache-missing blocks, and the session's
     per-stage statistics (``session.stats``, rendered in the report footer)
     include the worker-side reuse — work units dispatched, blocks simulated
-    remotely and blocks served from the cache instead.
+    remotely and blocks served from the cache instead.  Serial sweeps batch
+    the simulation stage instead: the missing blocks of *every* point in
+    the batch go through the vectorized executor in as few numpy passes as
+    possible (:func:`~repro.session.engine.simulate_planned_blocks`), and
+    points that differ only in simulation parameters (bandwidth, frequency,
+    technology — same compiled blocks) collapse into one 2-D
+    configs × blocks grid evaluation.
     """
     points = spec.expand()
     results = resolve_session(session).run_many([point.workload for point in points])

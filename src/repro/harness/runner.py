@@ -223,13 +223,15 @@ def build_report(
     jobs: int = 1,
     cache_dir: str | None = None,
     max_cache_bytes: int | None = None,
+    profile: bool = False,
 ) -> str:
     """Run the selected experiments and assemble a markdown report.
 
     One :class:`EvaluationSession` backs the whole report (built from
     ``jobs``/``cache_dir``/``max_cache_bytes`` unless an explicit
     ``session`` is given); the report ends with the session's per-stage
-    cache statistics.
+    cache statistics.  ``profile=True`` (the ``--profile`` flag) appends a
+    per-stage wall-time table (:func:`_profile_table`).
     """
     owns_session = session is None
     if session is None:
@@ -260,6 +262,13 @@ def build_report(
     sections.extend(_session_footer(session))
     sections.append("```")
     sections.append("")
+    if profile:
+        sections.append("## Stage timing profile")
+        sections.append("")
+        sections.append("```")
+        sections.append(_profile_table(session))
+        sections.append("```")
+        sections.append("")
     return "\n".join(sections)
 
 
@@ -275,6 +284,9 @@ def _session_footer(session: EvaluationSession) -> list[str]:
     # a trajectory; the footer makes compile-cost regressions visible on
     # every ordinary report run.
     lines.append(f"compile time: {session.stats.compile_seconds:.3f} s")
+    # Same idea for the simulate stage (fresh block/workload simulations,
+    # including worker-side time on parallel runs).
+    lines.append(f"sim time: {session.stats.sim_seconds:.3f} s")
     if session.cache.cache_dir is not None:
         lines.append(f"persistent cache: {session.cache.cache_dir}")
         if session.cache.max_bytes is not None:
@@ -288,6 +300,38 @@ def _session_footer(session: EvaluationSession) -> list[str]:
         # "0 work units dispatched" on a warm re-run).
         lines.append(session.stats.workers.summary())
     return lines
+
+
+def _profile_table(session: EvaluationSession) -> str:
+    """The ``--profile`` per-stage wall-time table.
+
+    Covers the tracked pipeline stages — compile (fresh compilations),
+    simulate (fresh block/workload simulations, worker-side time included
+    on parallel runs) and compose (result assembly + fresh-artifact
+    stores).  The total is the tracked-stage sum, not the report's
+    end-to-end wall clock — rendering and table formatting are
+    deliberately excluded so the table answers "where does the *pipeline*
+    spend its time", which is what future hot-path hunts need.  cache-IO
+    (on-disk entry reads/writes) is reported separately below the total:
+    it happens *inside* the stage rows (mostly compose, which stores fresh
+    artifacts), so adding it in would double-count.
+    """
+    stats = session.stats
+    rows = [
+        ("compile", stats.compile_seconds),
+        ("simulate", stats.sim_seconds),
+        ("compose", stats.compose_seconds),
+    ]
+    total = sum(seconds for _, seconds in rows)
+    lines = ["stage     seconds   share"]
+    for name, seconds in rows:
+        share = seconds / total if total else 0.0
+        lines.append(f"{name:<8}  {seconds:7.3f}  {share:6.1%}")
+    lines.append(f"{'total':<8}  {total:7.3f}")
+    lines.append(
+        f"{'cache-IO':<8}  {session.cache.io_seconds:7.3f}  (spent inside the stages above)"
+    )
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------- #
@@ -560,6 +604,12 @@ def main(argv: list[str] | None = None) -> int:
         "are evicted past it (requires --cache-dir)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a per-stage (compile / simulate / compose / cache-IO) "
+        "wall-time table to the report",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list the available experiments and exit",
@@ -609,6 +659,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         max_cache_bytes=max_cache_bytes,
+        profile=args.profile,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

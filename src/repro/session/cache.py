@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
@@ -196,7 +197,12 @@ class CacheStats:
     ``compile_seconds`` accumulates the wall-clock time spent inside
     ``FusionCompiler.compile`` (cache misses only), surfaced by the report
     footer's ``compile time`` line so compile-cost regressions are visible
-    on every run.
+    on every run.  ``sim_seconds`` accumulates block/workload simulation
+    wall time the same way (the ``sim time`` footer line), and
+    ``compose_seconds`` the result-composition time; parallel runs fold the
+    worker-side timings from each
+    :class:`~repro.session.engine.WorkResult` into both, so serial and
+    parallel footers measure the same stages.
     """
 
     hits: int = 0
@@ -204,6 +210,8 @@ class CacheStats:
     deduped: int = 0
     disk_hits: int = 0
     compile_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    compose_seconds: float = 0.0
     executions: dict[str, int] = field(default_factory=dict)
     programs: StageStats = field(default_factory=StageStats)
     tilings: StageStats = field(default_factory=StageStats)
@@ -331,6 +339,10 @@ class ResultCache:
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        #: Wall-clock seconds spent on cache disk IO (entry reads in
+        #: :meth:`get`, entry writes in :meth:`put`) — the ``cache-IO`` row
+        #: of ``python -m repro.harness --profile``.
+        self.io_seconds = 0.0
         self._memory: dict[str, Any] = {}
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_bytes = max_bytes
@@ -490,6 +502,7 @@ class ResultCache:
         path = self._entry_path(key)
         if path is None:
             return None
+        started = time.perf_counter()
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
             _, deserialize = _SERIALIZERS[entry["kind"]]
@@ -498,6 +511,8 @@ class ResultCache:
             # A corrupted or schema-stale entry is a miss, not a crash; the
             # fresh computation overwrites it on the next put().
             return None
+        finally:
+            self.io_seconds += time.perf_counter() - started
         self._memory[key] = value
         self._touch(key)
         return value
@@ -542,6 +557,7 @@ class ResultCache:
             raise ValueError(f"unknown cache entry kind {kind!r}")
         self._memory[key] = value
         if self.cache_dir is not None and persist:
+            started = time.perf_counter()
             serialize, _ = _SERIALIZERS[kind]
             entry = {
                 "kind": kind,
@@ -560,6 +576,8 @@ class ResultCache:
                 # A read-only shared cache directory still serves reads; the
                 # fresh value simply stays memory-only for this session.
                 return
+            finally:
+                self.io_seconds += time.perf_counter() - started
             self._seq += 1
             self._manifest[key] = {
                 "kind": kind,

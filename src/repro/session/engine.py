@@ -71,6 +71,7 @@ from repro.isa.program import CompiledBlock, Program
 from repro.isa.tiling import GemmWorkload, TilingPlan
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
 from repro.session.workload import Workload, load_network, network_digest
+from repro.sim.batched import simulate_blocks_grid
 from repro.sim.executor import BitFusionSimulator
 from repro.sim.results import LayerResult, NetworkResult, compose_network_result
 
@@ -93,6 +94,8 @@ __all__ = [
     "obtain_program",
     "plan_workload",
     "program_cache_key",
+    "simulate_planned_blocks",
+    "simulator_for",
     "tiling_cache_key",
     "try_compose_from_cache",
 ]
@@ -287,6 +290,28 @@ def obtain_program(
 # ---------------------------------------------------------------------- #
 # Stage 2: simulate-blocks
 # ---------------------------------------------------------------------- #
+@lru_cache(maxsize=None)
+def _build_simulator(
+    simulator_cls: type[BitFusionSimulator], config: BitFusionConfig
+) -> BitFusionSimulator:
+    return simulator_cls(config)
+
+
+def simulator_for(config: BitFusionConfig) -> BitFusionSimulator:
+    """The (memoized) simulator instance for one configuration.
+
+    Building a :class:`~repro.sim.executor.BitFusionSimulator` re-derives
+    the per-component energy models (SRAM bank sizing, technology scaling)
+    every time; memoizing per configuration means pool workers — and the
+    serial path — stop rebuilding identical model state once per workload.
+    ``BitFusionConfig`` is frozen/hashable and the simulator is stateless,
+    so sharing instances is safe.  The module-global class is resolved at
+    call time (and is part of the memo key), so tests that monkeypatch
+    ``engine.BitFusionSimulator`` get their own entries.
+    """
+    return _build_simulator(BitFusionSimulator, config)
+
+
 @lru_cache(maxsize=None)
 def _sim_config_payload(config: BitFusionConfig) -> dict[str, Any]:
     """The configuration parameters that affect one block's simulation.
@@ -484,28 +509,18 @@ def execute_workload_cached(
     """Run one workload through the staged pipeline with per-stage caching.
 
     Bit Fusion workloads reuse the cached program and every cached block
-    result, simulating only the blocks that are genuinely missing; baseline
-    platforms fall through to the monolithic path (their whole results are
-    cached at the workload level by the session).
+    result; the genuinely missing blocks simulate in one batched call
+    (:func:`simulate_planned_blocks`).  Baseline platforms fall through to
+    the monolithic path (their whole results are cached at the workload
+    level by the session).
     """
     if workload.platform != "bitfusion":
         return execute_workload(workload)
-    program, _ = obtain_program(workload, cache, stats)
-    simulator: BitFusionSimulator | None = None
-    layers: list[LayerResult] = []
-    for compiled in program:
-        value, level, source = lookup_block(compiled, workload.config, cache)
-        if value is None:
-            stats.blocks.record_miss()
-            stats.layers.record_miss()
-            if simulator is None:
-                simulator = BitFusionSimulator(workload.config)
-            value = simulator.run_block(compiled)
-            store_block_result(cache, workload, compiled, value)
-        else:
-            (stats.blocks if level == "block" else stats.layers).record_hit(source)
-        layers.append(value)
-    return _compose(workload, program, layers)
+    plan = plan_workload(workload, cache, stats, set())
+    started = time.perf_counter()
+    remote = simulate_planned_blocks([plan])[0]
+    stats.sim_seconds += time.perf_counter() - started
+    return compose_plan(plan, remote, cache, stats)
 
 
 # ---------------------------------------------------------------------- #
@@ -559,11 +574,17 @@ class WorkResult:
     baseline unit, and ``error`` a message (carrying the workload's label)
     when execution raised — workers never let an exception escape into
     ``ProcessPoolExecutor.map``, which would abort the entire batch.
+
+    ``compile_seconds`` and ``sim_seconds`` carry the worker-side wall time
+    of program reconstruction and block simulation so the session can fold
+    remote work into its per-stage timing statistics.
     """
 
     layers: tuple[tuple[int, LayerResult], ...] = ()
     result: NetworkResult | None = None
     error: str | None = None
+    compile_seconds: float = 0.0
+    sim_seconds: float = 0.0
 
 
 def execute_work_unit(unit: WorkUnit) -> WorkResult:
@@ -574,13 +595,23 @@ def execute_work_unit(unit: WorkUnit) -> WorkResult:
     """
     try:
         if unit.program_payload is None:
-            return WorkResult(result=execute_workload(unit.workload))
+            started = time.perf_counter()
+            result = execute_workload(unit.workload)
+            return WorkResult(result=result, sim_seconds=time.perf_counter() - started)
         # The payload is sliced to exactly the missing blocks; simulate all
         # of them and map the results back to their full-program indices.
+        started = time.perf_counter()
         program = Program.from_dict(unit.program_payload)
-        simulator = BitFusionSimulator(unit.workload.config)
+        compile_seconds = time.perf_counter() - started
+        simulator = simulator_for(unit.workload.config)
+        started = time.perf_counter()
         layers = simulator.run_selected_blocks(program, range(len(program)))
-        return WorkResult(layers=tuple(zip(unit.simulate_indices, layers)))
+        sim_seconds = time.perf_counter() - started
+        return WorkResult(
+            layers=tuple(zip(unit.simulate_indices, layers)),
+            compile_seconds=compile_seconds,
+            sim_seconds=sim_seconds,
+        )
     except Exception as error:  # noqa: BLE001 — must not escape into pool.map
         return WorkResult(
             error=f"workload {unit.workload.label()}: {type(error).__name__}: {error}"
@@ -701,7 +732,6 @@ def compose_plan(
     """
     workload = plan.workload
     assert plan.program is not None
-    simulator: BitFusionSimulator | None = None
     layers: list[LayerResult] = []
     for index, compiled in enumerate(plan.program):
         if index in plan.cached_layers:
@@ -720,9 +750,62 @@ def compose_plan(
             continue
         stats.blocks.record_miss()
         stats.layers.record_miss()
-        if simulator is None:
-            simulator = BitFusionSimulator(workload.config)
-        layer = simulator.run_block(compiled)
+        layer = simulator_for(workload.config).run_block(compiled)
         store_block_result(cache, workload, compiled, layer)
         layers.append(layer)
     return _compose(workload, plan.program, layers)
+
+
+def simulate_planned_blocks(
+    plans: list[WorkPlan],
+) -> list[dict[int, LayerResult]]:
+    """Simulate every planned-but-missing block across ``plans``, batched.
+
+    The serial-path counterpart of the worker protocol: instead of shipping
+    each plan to a pool worker, the missing blocks of *all* in-flight plans
+    are gathered into as few :func:`~repro.sim.batched.simulate_blocks_grid`
+    calls as possible.  Plans are grouped by their simulation-affecting
+    configuration payload (:func:`_sim_config_payload` — so e.g. a
+    frequency sweep shares one group), and groups whose ordered block
+    fingerprints are identical are merged into one 2-D grid call: the same
+    block batch evaluated under every distinct sim config in one numpy
+    pass.  That is the bandwidth/frequency-sweep fast path — ``N`` sweep
+    points of a ``B``-block network cost one ``N × B`` grid instead of
+    ``N`` separate passes.
+
+    Returns one ``{block index → LayerResult}`` dict per plan, shaped
+    exactly like the ``remote_layers`` argument of :func:`compose_plan`.
+    Baseline plans (``program is None``) and plans with nothing to simulate
+    get an empty dict.
+    """
+    out: list[dict[int, LayerResult]] = [{} for _ in plans]
+    # config-payload fingerprint -> (config, [(plan idx, block idx, block)])
+    by_config: dict[str, tuple[BitFusionConfig, list[tuple[int, int, CompiledBlock]]]] = {}
+    for plan_index, plan in enumerate(plans):
+        if plan.program is None or not plan.simulate_indices:
+            continue
+        config = plan.workload.config
+        key = fingerprint_payload({"sim": _sim_config_payload(config)})
+        _, items = by_config.setdefault(key, (config, []))
+        blocks = plan.program.blocks
+        items.extend(
+            (plan_index, block_index, blocks[block_index])
+            for block_index in plan.simulate_indices
+        )
+    # Merge config groups carrying identical block batches into 2-D grids.
+    by_batch: dict[
+        tuple[str, ...], list[tuple[BitFusionConfig, list[tuple[int, int, CompiledBlock]]]]
+    ] = {}
+    for config, items in by_config.values():
+        signature = tuple(block.fingerprint() for _, _, block in items)
+        by_batch.setdefault(signature, []).append((config, items))
+    for groups in by_batch.values():
+        simulators = [simulator_for(config) for config, _ in groups]
+        # Identical fingerprints mean identical block content, so the first
+        # group's blocks stand in for every config row of the grid.
+        blocks = [block for _, _, block in groups[0][1]]
+        rows = simulate_blocks_grid(simulators, blocks)
+        for (_, items), row in zip(groups, rows):
+            for (plan_index, block_index, _), layer in zip(items, row):
+                out[plan_index][block_index] = layer
+    return out

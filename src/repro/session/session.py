@@ -19,6 +19,7 @@ report runner installs its own session for the duration of a report via
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -32,10 +33,11 @@ from repro.session.engine import (
     WorkloadExecutionError,
     compose_plan,
     execute_work_unit,
-    execute_workload_cached,
+    execute_workload,
     obtain_program,
     plan_workload,
     program_cache_key,
+    simulate_planned_blocks,
     try_compose_from_cache,
 )
 from repro.session.workload import Workload, estimated_cost
@@ -246,16 +248,50 @@ class EvaluationSession:
                 if self.jobs > 1 and len(items) > 1:
                     resolved.update(self._execute_parallel(items))
                 else:
-                    for key, workload in items:
-                        result = execute_workload_cached(workload, self.cache, self.stats)
-                        self._store_result(key, workload, result)
-                        resolved[key] = result
+                    resolved.update(self._execute_serial(items))
             finally:
                 # One manifest write per executed batch, not one per
                 # artifact — and surviving artifacts are flushed even when a
                 # parallel batch raises for a failed workload.
                 self.cache.flush()
         return [resolved[key] for key in keys]
+
+    def _execute_serial(
+        self, items: list[tuple[str, Workload]]
+    ) -> dict[str, NetworkResult]:
+        """Run scheduled workloads inline, batching their simulations.
+
+        Every Bit Fusion workload of the batch is planned against the cache
+        first (central compile, per-block resolution through both cache
+        levels, in-batch duplicates deferred to their claimant exactly like
+        the parallel protocol); the genuinely missing blocks of *all* plans
+        then simulate through as few vectorized batched calls as possible
+        (:func:`~repro.session.engine.simulate_planned_blocks` — a sweep
+        varying only simulation parameters collapses into one 2-D grid
+        pass) before each workload composes in schedule order.  Baseline
+        workloads (no compile stage) execute whole, as always.
+        """
+        claimed: set[str] = set()
+        plans = [
+            plan_workload(workload, self.cache, self.stats, claimed)
+            for _, workload in items
+        ]
+        started = time.perf_counter()
+        remote = simulate_planned_blocks(plans)
+        self.stats.sim_seconds += time.perf_counter() - started
+        resolved: dict[str, NetworkResult] = {}
+        for (key, workload), plan, layers in zip(items, plans, remote):
+            if plan.program is None:
+                started = time.perf_counter()
+                result = execute_workload(workload)
+                self.stats.sim_seconds += time.perf_counter() - started
+            else:
+                started = time.perf_counter()
+                result = compose_plan(plan, layers, self.cache, self.stats)
+                self.stats.compose_seconds += time.perf_counter() - started
+            self._store_result(key, workload, result)
+            resolved[key] = result
+        return resolved
 
     def _execute_parallel(
         self, items: list[tuple[str, Workload]]
@@ -295,11 +331,18 @@ class EvaluationSession:
             if reply is not None and reply.error is not None:
                 failures.append(reply.error)
                 continue
+            if reply is not None:
+                # Fold worker-side wall time into the session's per-stage
+                # timers so parallel footers measure the same stages.
+                self.stats.compile_seconds += reply.compile_seconds
+                self.stats.sim_seconds += reply.sim_seconds
             if reply is not None and reply.result is not None:
                 result = reply.result
             else:
                 remote = dict(reply.layers) if reply is not None else {}
+                started = time.perf_counter()
                 result = compose_plan(plan, remote, self.cache, self.stats)
+                self.stats.compose_seconds += time.perf_counter() - started
             self._store_result(key, workload, result)
             resolved[key] = result
         if failures:

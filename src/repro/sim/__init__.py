@@ -13,6 +13,9 @@ energies.  This package is the equivalent component of the reproduction:
 * :mod:`repro.sim.executor`    — the simulator proper: executes a compiled
   :class:`~repro.isa.program.Program` block by block and produces a
   :class:`~repro.sim.results.NetworkResult`.
+* :mod:`repro.sim.batched`     — the vectorized block executor: evaluates
+  whole batches of ``(sim-config, block)`` pairs in numpy passes,
+  bit-identical to the scalar ``run_block`` oracle.
 * :mod:`repro.sim.stats`       — aggregation helpers (geometric means,
   speedups, energy ratios) shared by the experiment harness.
 """
@@ -20,6 +23,7 @@ energies.  This package is the equivalent component of the reproduction:
 from repro.sim.results import LayerResult, MemoryTraffic, NetworkResult
 from repro.sim.memory import ScratchpadBuffer, DramChannel
 from repro.sim.cycle_model import GemmCycleModel, CycleEstimate
+from repro.sim.batched import simulate_blocks_batched, simulate_blocks_grid
 from repro.sim.executor import BitFusionSimulator, simulate_network
 from repro.sim.stats import geometric_mean, speedup, energy_reduction
 
@@ -33,6 +37,8 @@ __all__ = [
     "CycleEstimate",
     "BitFusionSimulator",
     "simulate_network",
+    "simulate_blocks_batched",
+    "simulate_blocks_grid",
     "geometric_mean",
     "speedup",
     "energy_reduction",

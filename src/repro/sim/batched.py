@@ -1,0 +1,456 @@
+"""Batched numpy evaluation of the cycle/energy hot path (pipeline stage 2).
+
+PR 5 vectorized the compiler's tiling search; after it, cold ``run_many``
+batches and large design-space sweeps are dominated by per-block cycle and
+energy simulation in pure Python (:mod:`repro.sim.cycle_model` +
+:mod:`repro.sim.executor`).  This module applies the same playbook to the
+simulator: score whole batches of compiled blocks — and whole grids of
+``(sim-config, block)`` pairs — in a handful of numpy passes, while the
+scalar :meth:`~repro.sim.executor.BitFusionSimulator.run_block` survives as
+the property-tested reference oracle (``BitFusionSimulator(config,
+batched=False)``).
+
+The contract is **bit-identity**: every :class:`~repro.sim.results.LayerResult`
+materialized here must equal the scalar one field for field, float bits
+included.  That holds because the batched path replays the *exact same*
+float operation sequence the scalar path performs:
+
+* all integer quantities (cycles, traffic bits) are computed in ``int64``
+  with the same formulas, so they are exact;
+* the scalar path's only float operations are true divisions of integers
+  (``math.ceil(a / b)``, ``ideal / total``, the energy pricing products).
+  IEEE-754 division and multiplication are deterministic, and an integer
+  below :data:`2**53 <_INT_LIMIT>` converts to ``float64`` exactly — so as
+  long as every integer operand stays under that limit, ``np.float64``
+  reproduces the Python ``float`` result bit for bit;
+* energy formulas keep the scalar code's association order
+  (``(bits * pj_per_bit) * 1e-12``, buffer terms summed left to right, the
+  sum scaled last), and the per-configuration scalars (peak MAC rate, MAC
+  energy, per-bit SRAM/DRAM prices) are obtained *from the simulator's own
+  energy models*, never recomputed.
+
+Blocks whose magnitudes could break the exactness argument (MAC counts or
+DRAM traffic near ``2**53``) fail the exactness guard in
+:func:`_simulate_batched_rows` and fall back to ``run_block`` per block —
+mirroring the tiling search's int64-overflow fallback.  No in-zoo workload
+comes near the guard.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.fusion_unit import FusionConfig, fusion_config_for
+from repro.energy.breakdown import EnergyBreakdown
+from repro.isa.program import CompiledBlock
+from repro.sim.results import LayerResult, MemoryTraffic
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from repro.sim.executor import BitFusionSimulator
+
+__all__ = ["simulate_blocks_batched", "simulate_blocks_grid"]
+
+#: Partial sums accumulate at 32 bits in the output buffer (Figure 4).
+_PARTIAL_SUM_BITS = 32
+
+#: Largest integer exactly representable in a float64 mantissa.  Every
+#: integer the scalar path pushes through a true division must stay below
+#: this for the numpy replay to be bit-identical.
+_INT_LIMIT = 1 << 53
+
+
+def _tiled_quotient_sum(
+    extent: np.ndarray, tile: np.ndarray, divisor: np.ndarray
+) -> np.ndarray:
+    """Vector form of :func:`repro.sim.cycle_model._tiled_quotient_sum`.
+
+    Mirrors the scalar helper operation for operation: an integer
+    ``divmod`` plus ``ceil`` of *true divisions* (the scalar code divides
+    Python ints, producing floats).  ``ceil(0 / d) == 0`` so the
+    empty-remainder case needs no mask.
+    """
+    full = extent // tile
+    remainder = extent - full * tile
+    divisor_f = divisor.astype(np.float64)
+    per_full = np.ceil(tile.astype(np.float64) / divisor_f).astype(np.int64)
+    per_rem = np.ceil(remainder.astype(np.float64) / divisor_f).astype(np.int64)
+    return full * per_full + per_rem
+
+
+def _ceil_div(numerator_f: np.ndarray, divisor_f) -> np.ndarray:
+    """``math.ceil(a / b)`` replayed on float64 arrays, returned as int64."""
+    return np.ceil(numerator_f / divisor_f).astype(np.int64)
+
+
+def _materialize(
+    name: str,
+    macs: int,
+    input_bits: int,
+    weight_bits: int,
+    compute_cycles: int,
+    memory_cycles: int,
+    overhead_cycles: int,
+    dram_read_bits: int,
+    dram_write_bits: int,
+    ibuf_read_bits: int,
+    wbuf_read_bits: int,
+    obuf_read_bits: int,
+    obuf_write_bits: int,
+    compute_j: float,
+    buffers_j: float,
+    dram_j: float,
+    utilization: float,
+) -> LayerResult:
+    """Construct a :class:`LayerResult` without re-running field validation.
+
+    The batched path produces the same values the (validating) scalar
+    constructors would accept; skipping ``__post_init__`` here keeps
+    materialization from dominating the vectorized win.  The frozen
+    dataclasses are not slotted, so populating the instance ``__dict__``
+    in one assignment is both legal and the fastest construction path;
+    field-based equality, hashing and ``asdict`` serialization are
+    unaffected.
+    """
+    set_ = object.__setattr__
+    traffic = MemoryTraffic.__new__(MemoryTraffic)
+    set_(
+        traffic,
+        "__dict__",
+        {
+            "dram_read_bits": dram_read_bits,
+            "dram_write_bits": dram_write_bits,
+            "ibuf_read_bits": ibuf_read_bits,
+            "wbuf_read_bits": wbuf_read_bits,
+            "obuf_read_bits": obuf_read_bits,
+            "obuf_write_bits": obuf_write_bits,
+            "register_file_bits": 0,
+        },
+    )
+    energy = EnergyBreakdown.__new__(EnergyBreakdown)
+    set_(
+        energy,
+        "__dict__",
+        {
+            "compute": compute_j,
+            "buffers": buffers_j,
+            "register_file": 0.0,
+            "dram": dram_j,
+        },
+    )
+    result = LayerResult.__new__(LayerResult)
+    set_(
+        result,
+        "__dict__",
+        {
+            "name": name,
+            "macs": macs,
+            "input_bits": input_bits,
+            "weight_bits": weight_bits,
+            "compute_cycles": compute_cycles,
+            "memory_cycles": memory_cycles,
+            "overhead_cycles": overhead_cycles,
+            "traffic": traffic,
+            "energy": energy,
+            "utilization": utilization,
+        },
+    )
+    return result
+
+
+def simulate_blocks_batched(
+    simulator: "BitFusionSimulator", blocks: Sequence[CompiledBlock]
+) -> list[LayerResult]:
+    """Simulate ``blocks`` under one configuration in one numpy pass.
+
+    Returns results in block order, bit-identical to
+    ``[simulator.run_block(b) for b in blocks]``.
+    """
+    return simulate_blocks_grid([simulator], blocks)[0]
+
+
+def simulate_blocks_grid(
+    simulators: Sequence["BitFusionSimulator"], blocks: Sequence[CompiledBlock]
+) -> list[list[LayerResult]]:
+    """Simulate a ``(sim-config, block)`` grid in one vectorized pass.
+
+    ``simulators`` are rows, ``blocks`` are columns; row ``i`` of the
+    return value is bit-identical to ``[simulators[i].run_block(b) for b
+    in blocks]``.  This is the 2-D entry point the session engine uses for
+    sweeps that vary only simulation parameters (bandwidth, frequency,
+    array geometry): the per-block structure-of-arrays extraction is done
+    once and broadcast across every configuration row.
+
+    Rows whose simulator was built with ``batched=False`` run through the
+    scalar oracle instead; blocks whose magnitudes fail the exactness
+    guard fall back to ``run_block`` per ``(row, block)`` pair.
+    """
+    blocks = list(blocks)
+    results: list[list[LayerResult | None]] = [
+        [None] * len(blocks) for _ in simulators
+    ]
+    if not blocks:
+        return [list() for _ in simulators]
+
+    scalar_rows = [i for i, sim in enumerate(simulators) if not sim.batched]
+    for row in scalar_rows:
+        results[row] = [simulators[row].run_block(block) for block in blocks]
+    batched_rows = [i for i, sim in enumerate(simulators) if sim.batched]
+    if not batched_rows:
+        return results  # type: ignore[return-value]
+
+    fallback = _simulate_batched_rows(
+        [simulators[row] for row in batched_rows],
+        blocks,
+        [results[row] for row in batched_rows],
+    )
+    for index in fallback:
+        block = blocks[index]
+        for row in batched_rows:
+            results[row][index] = simulators[row].run_block(block)
+    return results  # type: ignore[return-value]
+
+
+def _simulate_batched_rows(
+    simulators: Sequence["BitFusionSimulator"],
+    blocks: list[CompiledBlock],
+    rows_out: list[list[LayerResult | None]],
+) -> list[int]:
+    """Vectorized core: fill every ``rows_out[r][j]`` whose block is batchable.
+
+    Returns the indices of blocks that failed the exactness guard (the
+    caller runs those through the scalar oracle).  The guard bounds every
+    intermediate the batched path materializes by multiples of values it
+    checks against :data:`_INT_LIMIT`:
+
+    * traffic bits are at most ``32 * macs`` per structure and the energy
+      model sums output-buffer reads and writes (``<= 64 * macs``),
+    * compute cycles are at most ``4 * macs`` (``temporal_passes <= 4``)
+      and fill/drain is at most ``m * r * (rows + columns)``, so their sum
+      bounds total/overhead cycles (``max_fill`` uses the largest array
+      among the configuration rows),
+    * the memory-cycle conversion divides the summed DRAM traffic.
+    """
+    max_fill = max(sim.config.rows + sim.config.columns for sim in simulators)
+    limit = _INT_LIMIT
+
+    # ---- structure-of-arrays extraction (shared across all config rows) --
+    # One tuple per batchable block, transposed into columns afterwards:
+    # a single ``append`` per block beats one list per field by a wide
+    # margin, and this loop is the sequential floor of the batched path.
+    fusion_index: dict[tuple[int, int], int] = {}
+    fusions: list[FusionConfig] = []
+    fallback: list[int] = []
+    lanes: list[tuple] = []
+    append = lanes.append
+    for index, block in enumerate(blocks):
+        tiling = block.tiling
+        workload = tiling.workload
+        m_v = workload.m
+        n_v = workload.n
+        r_v = workload.r
+        macs_v = m_v * n_v * r_v
+        dram_read_v = int(
+            tiling.dram_weight_bits
+            + tiling.dram_input_bits
+            + tiling.dram_output_read_bits
+        )
+        dram_write_v = int(tiling.dram_output_write_bits)
+        gemm = block.layer.has_gemm()
+        tm, tn, tr = tiling.tile_m, tiling.tile_n, tiling.tile_r
+        if (
+            64 * macs_v >= limit
+            or 4 * macs_v + m_v * r_v * max_fill >= limit
+            or dram_read_v + dram_write_v >= limit
+            # The scalar cycle model rejects non-positive tiles; let it.
+            or (gemm and (tm <= 0 or tn <= 0 or tr <= 0))
+        ):
+            fallback.append(index)
+            continue
+        key = (workload.input_bits, workload.weight_bits)
+        fusion = fusion_index.get(key)
+        if fusion is None:
+            fusion = len(fusions)
+            fusion_index[key] = fusion
+            fusions.append(fusion_config_for(*key))
+        if not gemm:
+            # Sanitized tile extents keep the (masked-out) vector lanes of
+            # the cycle model free of divisions by zero.
+            tm = tm if tm > 0 else 1
+            tn = tn if tn > 0 else 1
+            tr = tr if tr > 0 else 1
+        append(
+            (
+                index,
+                block.name,
+                key[0],
+                key[1],
+                fusion,
+                m_v,
+                n_v,
+                r_v,
+                macs_v,
+                gemm,
+                tm,
+                tn,
+                tr,
+                dram_read_v,
+                dram_write_v,
+                len(block.block),
+            )
+        )
+
+    count = len(lanes)
+    if not count:
+        return fallback
+    (
+        out_indices,
+        names,
+        ib_list,
+        wb_list,
+        fi_l,
+        m_l,
+        n_l,
+        r_l,
+        macs_l,
+        gemm_l,
+        tile_m_l,
+        tile_n_l,
+        tile_r_l,
+        dram_read_list,
+        dram_write_list,
+        block_len_l,
+    ) = zip(*lanes)
+    fi = np.array(fi_l, dtype=np.int64)
+    m = np.array(m_l, dtype=np.int64)
+    n = np.array(n_l, dtype=np.int64)
+    r = np.array(r_l, dtype=np.int64)
+    macs = np.array(macs_l, dtype=np.int64)
+    tile_m = np.array(tile_m_l, dtype=np.int64)
+    tile_n = np.array(tile_n_l, dtype=np.int64)
+    tile_r = np.array(tile_r_l, dtype=np.int64)
+    dram_read = np.array(dram_read_list, dtype=np.int64)
+    dram_write = np.array(dram_write_list, dtype=np.int64)
+    block_len = np.array(block_len_l, dtype=np.int64)
+    is_gemm = np.array(gemm_l, dtype=bool)
+
+    # Per-fusion, configuration-independent lane widths and pass counts.
+    temporal = np.array([f.temporal_passes for f in fusions], dtype=np.int64)
+    fused_pes = np.array([f.fused_pes for f in fusions], dtype=np.int64)
+    input_lane = np.array(
+        [f.input_lane_bits * f.temporal_passes for f in fusions], dtype=np.int64
+    )
+    weight_lane = np.array(
+        [f.weight_lane_bits * f.temporal_passes for f in fusions], dtype=np.int64
+    )
+
+    m_f = m.astype(np.float64)
+    r_f = r.astype(np.float64)
+    macs_f = macs.astype(np.float64)
+    temporal_b = temporal[fi]
+    input_lane_b = input_lane[fi]
+    weight_lane_b = weight_lane[fi]
+
+    # Tile counts are float-ceil of true divisions (TilingPlan properties).
+    m_tiles = _ceil_div(m_f, tile_m.astype(np.float64))
+    n_tiles = _ceil_div(n.astype(np.float64), tile_n.astype(np.float64))
+    r_tiles = _ceil_div(r_f, tile_r.astype(np.float64))
+    reduction_passes = np.where(is_gemm, np.maximum(1, n_tiles), 1)
+
+    # Traffic shared across configuration rows except the ibuf column term.
+    outputs = m * r
+    wbuf_bits = macs * weight_lane_b
+    obuf_write_bits = outputs * _PARTIAL_SUM_BITS * np.maximum(1, reduction_passes)
+    obuf_read_bits = outputs * _PARTIAL_SUM_BITS * np.maximum(0, reduction_passes - 1)
+    obuf_total_f = (obuf_read_bits + obuf_write_bits).astype(np.float64)
+    dram_total = dram_read + dram_write
+    dram_total_f = dram_total.astype(np.float64)
+    wbuf_f = wbuf_bits.astype(np.float64)
+
+    wbuf_list = wbuf_bits.tolist()
+    obuf_read_list = obuf_read_bits.tolist()
+    obuf_write_list = obuf_write_bits.tolist()
+
+    for sim, out in zip(simulators, rows_out):
+        config = sim.config
+        models = sim._energy
+        rows = config.rows
+        columns = config.columns
+        scale = config.technology.energy_scale
+        bandwidth = float(config.dram_bandwidth_bits_per_cycle)
+        ibuf_pj = models.ibuf.energy_per_bit_pj
+        wbuf_pj = models.wbuf.energy_per_bit_pj
+        obuf_pj = models.obuf.energy_per_bit_pj
+        dram_pj = models.dram.pj_per_bit
+        # Per-fusion scalars computed through the simulator's own models so
+        # the float values are the scalar path's, bit for bit.
+        logical_rows = rows * fused_pes
+        peak = np.array(
+            [
+                rows * columns * f.fused_pes / f.temporal_passes
+                for f in fusions
+            ],
+            dtype=np.float64,
+        )
+        mac_pj = np.array(
+            [models.compute.fusion_mac_energy_pj(f) for f in fusions],
+            dtype=np.float64,
+        )
+
+        # ---- cycle model (GemmCycleModel.estimate, vectorized) ----------
+        red = _tiled_quotient_sum(n, tile_n, logical_rows[fi])
+        out_passes = _tiled_quotient_sum(m, tile_m, np.full(count, columns, dtype=np.int64))
+        compute = red * out_passes * r * temporal_b
+        fill_drain = m_tiles * r_tiles * (rows + columns)
+        ideal = _ceil_div(macs_f, peak[fi])
+        total = compute + fill_drain
+        utilization = np.where(
+            total > 0,
+            np.minimum(
+                1.0, ideal.astype(np.float64) / np.maximum(total, 1).astype(np.float64)
+            ),
+            0.0,
+        )
+
+        compute_out = np.where(is_gemm, compute, 0)
+        overhead_out = np.where(is_gemm, fill_drain + block_len, block_len)
+        util_out = np.where(is_gemm, utilization, 0.0)
+        macs_out = np.where(is_gemm, macs, 0)
+
+        # ---- traffic + memory cycles (_buffer_traffic + conversion) -----
+        ibuf_bits = _ceil_div(macs_f, float(columns)) * input_lane_b
+        memory = _ceil_div(dram_total_f, bandwidth)
+
+        # ---- energy pricing (_energy_breakdown, association preserved) --
+        compute_j = macs_out.astype(np.float64) * mac_pj[fi] * 1e-12
+        buffers_j = (
+            ibuf_bits.astype(np.float64) * ibuf_pj * 1e-12
+            + wbuf_f * wbuf_pj * 1e-12
+            + obuf_total_f * obuf_pj * 1e-12
+        ) * scale
+        dram_j = dram_total_f * dram_pj * 1e-12
+
+        lanes = zip(
+            out_indices,
+            names,
+            macs_out.tolist(),
+            ib_list,
+            wb_list,
+            compute_out.tolist(),
+            memory.tolist(),
+            overhead_out.tolist(),
+            dram_read_list,
+            dram_write_list,
+            ibuf_bits.tolist(),
+            wbuf_list,
+            obuf_read_list,
+            obuf_write_list,
+            compute_j.tolist(),
+            buffers_j.tolist(),
+            dram_j.tolist(),
+            util_out.tolist(),
+        )
+        for target, *values in lanes:
+            out[target] = _materialize(*values)
+    return fallback

@@ -38,6 +38,7 @@ from repro.energy.components import ComputeEnergyModel
 from repro.energy.dram import DramEnergyModel
 from repro.isa.compiler import FusionCompiler
 from repro.isa.program import CompiledBlock, Program
+from repro.sim.batched import simulate_blocks_batched
 from repro.sim.cycle_model import GemmCycleModel
 from repro.sim.results import (
     LayerResult,
@@ -73,12 +74,23 @@ class BitFusionSimulator:
     dram_energy:
         Optional override of the DRAM energy model (defaults to the 45 nm
         reference scaled by the configuration's technology node).
+    batched:
+        When true (the default), multi-block entry points
+        (:meth:`run_blocks`, :meth:`run_selected_blocks`) evaluate whole
+        batches through the vectorized :mod:`repro.sim.batched` path.
+        ``batched=False`` keeps every block on the scalar
+        :meth:`run_block` loop — the reference oracle the batched path is
+        property-tested against.  Results are bit-identical either way.
     """
 
     def __init__(
-        self, config: BitFusionConfig, dram_energy: DramEnergyModel | None = None
+        self,
+        config: BitFusionConfig,
+        dram_energy: DramEnergyModel | None = None,
+        batched: bool = True,
     ) -> None:
         self.config = config
+        self.batched = batched
         self.cycle_model = GemmCycleModel(config)
         scale = config.technology.energy_scale
         if dram_energy is None:
@@ -199,6 +211,21 @@ class BitFusionSimulator:
     # ------------------------------------------------------------------ #
     # Program / network execution
     # ------------------------------------------------------------------ #
+    def simulate_compiled_blocks(
+        self, blocks: Sequence[CompiledBlock]
+    ) -> list[LayerResult]:
+        """Simulate a list of blocks, batched when possible.
+
+        The single multi-block choke point: batches of two or more blocks
+        go through the vectorized executor (unless this simulator was
+        built with ``batched=False``), everything else runs the scalar
+        :meth:`run_block` loop.  Either way the results are bit-identical.
+        """
+        blocks = list(blocks)
+        if not self.batched or len(blocks) < 2:
+            return [self.run_block(block) for block in blocks]
+        return simulate_blocks_batched(self, blocks)
+
     def run_blocks(self, program: Program) -> list[LayerResult]:
         """Simulate every block of a program independently (pipeline stage 2).
 
@@ -207,7 +234,7 @@ class BitFusionSimulator:
         blocks — which is what lets the evaluation session cache and reuse
         per-block results individually.
         """
-        return [self.run_block(block) for block in program]
+        return self.simulate_compiled_blocks(list(program))
 
     def run_selected_blocks(
         self, program: Program, indices: Sequence[int]
@@ -220,7 +247,9 @@ class BitFusionSimulator:
         worker just the indices that genuinely need simulating, so a
         partially-warm parallel run never re-simulates warm blocks.
         """
-        return [self.run_block(program[index]) for index in indices]
+        return self.simulate_compiled_blocks(
+            [program[index] for index in indices]
+        )
 
     def run_program(self, program: Program, batch_size: int | None = None) -> NetworkResult:
         """Simulate a compiled program and compose the per-block results."""

@@ -1,0 +1,278 @@
+"""The batched simulation executor against its scalar ``run_block`` oracle.
+
+The contract under test: :func:`~repro.sim.batched.simulate_blocks_batched`
+(and the 2-D :func:`~repro.sim.batched.simulate_blocks_grid`) produce
+:class:`~repro.sim.results.LayerResult`\\ s *bit-identical* to looping
+``BitFusionSimulator.run_block`` — every integer and every float64, field
+for field.  Covered:
+
+* every in-zoo network under several buffer/array geometries and both
+  compiler flag settings (mirroring ``tests/test_vectorized_tiling.py``),
+* 2-D config x block grids (the bandwidth-sweep fast path) and grids mixing
+  batched rows with ``batched=False`` oracle rows,
+* randomized FC (GEMM) and pooling blocks, edge tiles and mixed bitwidths
+  (hypothesis),
+* the overflow guard: blocks with MAC counts past the float64-exactness
+  limit fall back to the scalar path and still agree,
+* the multi-block entry points' routing (order, empty selections, the
+  ``batched=False`` construction flag).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import BitFusionConfig
+from repro.dnn import models
+from repro.dnn.layers import FCLayer, PoolLayer
+from repro.isa.compiler import FusionCompiler, compile_layer
+from repro.isa.program import CompiledBlock
+from repro.isa.tiling import GemmWorkload
+from repro.sim.batched import _INT_LIMIT, simulate_blocks_batched, simulate_blocks_grid
+from repro.sim.executor import BitFusionSimulator
+
+_BASE = BitFusionConfig.eyeriss_matched(batch_size=16)
+
+#: Geometries mirroring the tiling-oracle suite: the paper default plus
+#: smaller and skewed scratchpads (multi-tile plans) and a different array.
+_GEOMETRIES = (
+    _BASE,
+    _BASE.with_buffers(16.0, 32.0, 8.0),
+    _BASE.with_buffers(4.0, 8.0, 2.0),
+    _BASE.with_buffers(64.0, 16.0, 4.0).with_array(32, 16),
+    BitFusionConfig.stripes_matched(batch_size=16),
+)
+
+_GEOMETRY_IDS = lambda c: f"{c.ibuf_kb:g}/{c.wbuf_kb:g}/{c.obuf_kb:g}KB"  # noqa: E731
+
+
+def _assert_bit_identical(batched, scalar):
+    """Field-for-field equality, floats compared through their exact values."""
+    assert len(batched) == len(scalar)
+    for got, want in zip(batched, scalar):
+        assert got == want
+        assert dataclasses.asdict(got) == dataclasses.asdict(want)
+
+
+class TestZooOracle:
+    @pytest.mark.parametrize("config", _GEOMETRIES, ids=_GEOMETRY_IDS)
+    @pytest.mark.parametrize("network", models.BENCHMARKS)
+    def test_zoo_blocks_bit_identical(self, network, config):
+        program = FusionCompiler(config).compile(models.load(network), batch_size=16)
+        batched = BitFusionSimulator(config).run_blocks(program)
+        scalar = BitFusionSimulator(config, batched=False).run_blocks(program)
+        _assert_bit_identical(batched, scalar)
+
+    def test_compiler_flags_bit_identical(self):
+        net = models.load("SVHN")
+        for loop_ordering in (True, False):
+            for layer_fusion in (True, False):
+                program = FusionCompiler(
+                    _BASE,
+                    enable_loop_ordering=loop_ordering,
+                    enable_layer_fusion=layer_fusion,
+                ).compile(net, batch_size=16)
+                batched = BitFusionSimulator(_BASE).run_blocks(program)
+                scalar = BitFusionSimulator(_BASE, batched=False).run_blocks(program)
+                _assert_bit_identical(batched, scalar)
+
+    def test_zoo_blocks_stay_under_the_exactness_guard(self):
+        # The guard must never kick in for realistic shapes — otherwise the
+        # batched win silently evaporates into per-block fallbacks.
+        for network in models.BENCHMARKS:
+            program = FusionCompiler(_BASE).compile(models.load(network), batch_size=16)
+            for block in program:
+                workload = block.tiling.workload
+                assert 64 * workload.macs < _INT_LIMIT
+                tiling = block.tiling
+                dram_total = int(
+                    tiling.dram_weight_bits
+                    + tiling.dram_input_bits
+                    + tiling.dram_output_read_bits
+                    + tiling.dram_output_write_bits
+                )
+                assert dram_total < _INT_LIMIT
+
+
+class TestGridOracle:
+    def test_grid_rows_match_scalar(self):
+        program = FusionCompiler(_BASE).compile(models.load("CIFAR-10"), batch_size=16)
+        configs = [
+            _BASE,
+            _BASE.with_bandwidth(128),
+            _BASE.with_bandwidth(512),
+            _BASE.with_buffers(16.0, 32.0, 8.0),
+            _BASE.with_array(32, 16),
+        ]
+        simulators = [BitFusionSimulator(config) for config in configs]
+        rows = simulate_blocks_grid(simulators, program.blocks)
+        assert len(rows) == len(configs)
+        for simulator, row in zip(simulators, rows):
+            _assert_bit_identical(row, [simulator.run_block(b) for b in program])
+
+    def test_grid_mixing_batched_and_oracle_rows(self):
+        program = FusionCompiler(_BASE).compile(models.load("LeNet-5"), batch_size=16)
+        batched_sim = BitFusionSimulator(_BASE)
+        oracle_sim = BitFusionSimulator(_BASE.with_bandwidth(128), batched=False)
+        rows = simulate_blocks_grid([batched_sim, oracle_sim], program.blocks)
+        _assert_bit_identical(rows[0], [batched_sim.run_block(b) for b in program])
+        _assert_bit_identical(rows[1], [oracle_sim.run_block(b) for b in program])
+
+    def test_empty_block_batch(self):
+        simulators = [BitFusionSimulator(_BASE), BitFusionSimulator(_BASE)]
+        assert simulate_blocks_grid(simulators, []) == [[], []]
+        assert simulate_blocks_batched(simulators[0], []) == []
+
+
+class TestRouting:
+    def test_selected_blocks_preserve_order(self):
+        program = FusionCompiler(_BASE).compile(models.load("LeNet-5"), batch_size=16)
+        simulator = BitFusionSimulator(_BASE)
+        full = simulator.run_blocks(program)
+        assert simulator.run_selected_blocks(program, [2, 0]) == [full[2], full[0]]
+        assert simulator.run_selected_blocks(program, []) == []
+
+    def test_oracle_flag_disables_batching_but_not_results(self):
+        program = FusionCompiler(_BASE).compile(models.load("SVHN"), batch_size=16)
+        oracle = BitFusionSimulator(_BASE, batched=False)
+        assert not oracle.batched
+        _assert_bit_identical(
+            oracle.run_blocks(program),
+            BitFusionSimulator(_BASE).run_blocks(program),
+        )
+
+
+class TestRandomizedOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        in_features=st.integers(min_value=1, max_value=2048),
+        out_features=st.integers(min_value=1, max_value=2048),
+        batch=st.integers(min_value=1, max_value=64),
+        input_bits=st.sampled_from((1, 2, 4, 8, 16)),
+        weight_bits=st.sampled_from((1, 2, 4, 8, 16)),
+        ibuf_kb=st.sampled_from((1.0, 4.0, 32.0)),
+        wbuf_kb=st.sampled_from((2.0, 16.0, 64.0)),
+        obuf_kb=st.sampled_from((0.5, 2.0, 16.0)),
+    )
+    def test_random_gemm_blocks_match_oracle(
+        self, in_features, out_features, batch, input_bits, weight_bits, ibuf_kb, wbuf_kb, obuf_kb
+    ):
+        # Random FC shapes produce GEMMs with edge tiles (dims not divisible
+        # by the chosen tile sizes) and mixed-bitwidth fusion configs.
+        config = _BASE.with_buffers(ibuf_kb, wbuf_kb, obuf_kb)
+        layer = FCLayer(
+            name="fc",
+            in_features=in_features,
+            out_features=out_features,
+            input_bits=input_bits,
+            weight_bits=weight_bits,
+        )
+        try:
+            block = compile_layer(layer, config, batch_size=batch)
+        except ValueError:
+            return  # no feasible tiling under a tiny scratchpad: nothing to simulate
+        simulator = BitFusionSimulator(config)
+        _assert_bit_identical(
+            simulate_blocks_batched(simulator, [block]), [simulator.run_block(block)]
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        channels=st.integers(min_value=1, max_value=64),
+        height=st.integers(min_value=2, max_value=32),
+        kernel=st.integers(min_value=1, max_value=3),
+        batch=st.integers(min_value=1, max_value=16),
+        mode=st.sampled_from(("max", "avg")),
+    )
+    def test_random_pooling_blocks_match_oracle(self, channels, height, kernel, batch, mode):
+        layer = PoolLayer(
+            name="pool",
+            channels=channels,
+            in_height=height,
+            in_width=height,
+            kernel=min(kernel, height),
+            stride=1,
+            mode=mode,
+        )
+        block = compile_layer(layer, _BASE, batch_size=batch)
+        simulator = BitFusionSimulator(_BASE)
+        _assert_bit_identical(
+            simulate_blocks_batched(simulator, [block]), [simulator.run_block(block)]
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        in_features=st.integers(min_value=1, max_value=512),
+        out_features=st.integers(min_value=1, max_value=512),
+        channels=st.integers(min_value=1, max_value=32),
+        bits=st.sampled_from((2, 4, 8)),
+    )
+    def test_mixed_gemm_and_pooling_batch(self, in_features, out_features, channels, bits):
+        fc = compile_layer(
+            FCLayer(
+                name="fc",
+                in_features=in_features,
+                out_features=out_features,
+                input_bits=bits,
+                weight_bits=bits,
+            ),
+            _BASE,
+            batch_size=8,
+        )
+        pool = compile_layer(
+            PoolLayer(name="pool", channels=channels, in_height=8, in_width=8),
+            _BASE,
+            batch_size=8,
+        )
+        simulator = BitFusionSimulator(_BASE)
+        blocks = [fc, pool, fc]
+        _assert_bit_identical(
+            simulate_blocks_batched(simulator, blocks),
+            [simulator.run_block(block) for block in blocks],
+        )
+
+
+class TestOverflowGuard:
+    def _overflow_block(self) -> CompiledBlock:
+        """A block whose MAC count breaks the float64-exactness argument."""
+        base = compile_layer(
+            FCLayer(name="fc", in_features=64, out_features=64), _BASE, batch_size=8
+        )
+        huge = GemmWorkload(
+            m=1 << 20,
+            n=1 << 20,
+            r=1 << 18,
+            input_bits=8,
+            weight_bits=8,
+            output_bits=16,
+        )
+        assert 64 * huge.macs >= _INT_LIMIT
+        return CompiledBlock(
+            block=base.block,
+            layer=base.layer,
+            tiling=dataclasses.replace(base.tiling, workload=huge),
+            loop_order=base.loop_order,
+        )
+
+    def test_overflow_scale_macs_fall_back_to_scalar(self):
+        block = self._overflow_block()
+        normal = compile_layer(
+            FCLayer(name="small", in_features=32, out_features=32), _BASE, batch_size=8
+        )
+        simulator = BitFusionSimulator(_BASE)
+        # The guarded block must agree with the oracle (by delegating to it)
+        # and must not poison its batchable neighbours.
+        _assert_bit_identical(
+            simulate_blocks_batched(simulator, [normal, block, normal]),
+            [simulator.run_block(b) for b in (normal, block, normal)],
+        )
+
+    def test_overflow_fallback_covers_every_grid_row(self):
+        block = self._overflow_block()
+        simulators = [BitFusionSimulator(_BASE), BitFusionSimulator(_BASE.with_bandwidth(128))]
+        rows = simulate_blocks_grid(simulators, [block])
+        for simulator, row in zip(simulators, rows):
+            _assert_bit_identical(row, [simulator.run_block(block)])

@@ -336,6 +336,7 @@ class TestReportAcceptance:
                 and not line.startswith("worker processes")
                 and not line.startswith("parallel workers")
                 and not line.startswith("compile time")
+                and not line.startswith("sim time")
             ]
 
         assert tables(serial) == tables(parallel)
