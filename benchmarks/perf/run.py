@@ -26,7 +26,12 @@ trajectory point as JSON (``BENCH_6.json`` by default):
   cache-aware worker protocol's cost stays tracked;
 * **sweep grid expansion** — ``SweepSpec.expand`` on a few-hundred-point
   spec;
-* **Pareto reduction** — the sort-based frontier on synthetic points.
+* **Pareto reduction** — the sort-based frontier on synthetic points;
+* **NAS estimator** — a mutated ResNet-18 candidate priced through the
+  cache-composition estimator on a warm cache vs full ``evaluate()`` (the
+  repo's acceptance bar is >= 50x, with zero fresh simulations), the
+  unseen-layer dedupe rate of a fingerprint-deduped candidate batch, and
+  the candidates/second of a fully-warm search.
 
 ``--check BASELINE`` compares the measured metrics against a committed
 baseline (``benchmarks/perf/baseline.json``) and exits non-zero on any
@@ -53,8 +58,10 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy  # noqa: E402
 
 from repro import __version__  # noqa: E402
+from repro.core.accelerator import BitFusionAccelerator  # noqa: E402
 from repro.core.config import BitFusionConfig  # noqa: E402
 from repro.dnn import models  # noqa: E402
+from repro.nas import Estimator, SearchSpec, mutate, run_search  # noqa: E402
 from repro.dse.pareto import pareto_indices  # noqa: E402
 from repro.dse.spec import SweepSpec  # noqa: E402
 from repro.isa.compiler import FusionCompiler  # noqa: E402
@@ -288,6 +295,57 @@ def bench_pareto(repeats: int) -> dict:
     return {"pareto_points": len(points), "pareto_reduce_s": seconds}
 
 
+def bench_nas(repeats: int) -> dict:
+    """The NAS estimator scenarios: warm pricing, batch dedupe, search rate.
+
+    Warm pricing is the acceptance-criteria number: after one cold pricing,
+    re-estimating a mutated ResNet-18 candidate must be pure cache lookup +
+    composition — zero fresh simulations (tracked exactly) and >= 50x
+    faster than ``BitFusionAccelerator.evaluate``.  The dedupe rate is
+    deterministic (seeded mutations), so its bound is tight; the
+    candidates/second of a fully-warm search is wall-clock and bounded
+    generously.
+    """
+    config = BitFusionConfig.eyeriss_matched()
+    base = models.load("ResNet-18")
+    mutant = mutate(base, random.Random(7))
+
+    estimator = Estimator(config)
+    estimator.estimate(base)
+    estimator.estimate(mutant)
+    simulated_before = estimator.stats.layers_simulated
+    warm_s = _best_of(max(repeats * 7, 20), lambda: estimator.estimate(mutant))
+    warm_simulated = estimator.stats.layers_simulated - simulated_before
+    evaluate_s = _best_of(repeats, lambda: BitFusionAccelerator(config).evaluate(mutant))
+
+    # Unseen-layer batch efficiency: one cold fingerprint-deduped generation
+    # (eight seeded mutants + the base).  Most blocks repeat across the
+    # near-clones, so they compose or defer instead of simulating.
+    batch_estimator = Estimator(config)
+    rng = random.Random(11)
+    batch_estimator.estimate_many([base] + [mutate(base, rng) for _ in range(8)])
+    batch_stats = batch_estimator.stats
+
+    # Candidates/second with everything cached: the same seeded search run
+    # twice over one estimator — the second pass re-prices every candidate
+    # by composition alone.
+    spec = SearchSpec(base_network="CIFAR-10", population=8, generations=3, seed=5)
+    search_estimator = Estimator(config)
+    run_search(spec, estimator=search_estimator)
+    warm_search = run_search(spec, estimator=search_estimator)
+
+    return {
+        "nas_warm_estimate_s": warm_s,
+        "nas_evaluate_s": evaluate_s,
+        "nas_estimator_speedup": evaluate_s / warm_s,
+        "nas_warm_simulated": warm_simulated,
+        "nas_batch_layer_lookups": batch_stats.layer_lookups,
+        "nas_batch_simulated": batch_stats.layers_simulated,
+        "nas_batch_dedupe_rate": batch_stats.hit_rate,
+        "nas_warm_candidates_per_s": warm_search.candidates_per_second,
+    }
+
+
 def run_suite(repeats: int) -> dict:
     metrics: dict = {}
     metrics.update(bench_compile(repeats))
@@ -297,9 +355,10 @@ def run_suite(repeats: int) -> dict:
     metrics.update(bench_run_many_jobs(repeats))
     metrics.update(bench_sweep_expand(repeats))
     metrics.update(bench_pareto(repeats))
+    metrics.update(bench_nas(repeats))
     return {
         "bench": "repro-perf",
-        "trajectory_point": 6,
+        "trajectory_point": 7,
         "repro_version": __version__,
         "metrics": metrics,
         "environment": {
@@ -344,8 +403,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         metavar="PATH",
-        default=str(REPO_ROOT / "BENCH_6.json"),
-        help="where to write the trajectory point (default: BENCH_6.json at the repo root)",
+        default=str(REPO_ROOT / "BENCH_7.json"),
+        help="where to write the trajectory point (default: BENCH_7.json at the repo root)",
     )
     parser.add_argument(
         "--check",
@@ -400,6 +459,14 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"run_many --jobs 2: cold {metrics['run_many_jobs2_cold_s'] * 1e3:.0f} ms, "
         f"partially warm {metrics['run_many_jobs2_partial_warm_s'] * 1e3:.0f} ms"
+    )
+    print(
+        f"nas estimator: warm estimate {metrics['nas_warm_estimate_s'] * 1e6:.0f} us "
+        f"vs evaluate {metrics['nas_evaluate_s'] * 1e3:.2f} ms "
+        f"({metrics['nas_estimator_speedup']:.0f}x, "
+        f"{metrics['nas_warm_simulated']} fresh simulations); "
+        f"batch dedupe rate {metrics['nas_batch_dedupe_rate']:.0%}, "
+        f"warm search {metrics['nas_warm_candidates_per_s']:.0f} candidates/s"
     )
 
     if args.check:

@@ -49,6 +49,7 @@ class Network:
             raise ValueError("network name must be non-empty")
         self.name = name
         self._layers: "OrderedDict[str, Layer]" = OrderedDict()
+        self._fingerprint: str | None = None
         for layer in layers:
             self.add(layer)
 
@@ -62,6 +63,7 @@ class Network:
                 f"duplicate layer name {layer.name!r} in network {self.name!r}"
             )
         self._layers[layer.name] = layer
+        self._fingerprint = None
         return self
 
     @property
@@ -154,13 +156,19 @@ class Network:
         values, so two structurally identical networks fingerprint the same
         in any process while any shape or bitwidth change invalidates cached
         simulation results keyed on the digest.
+
+        Memoized (and invalidated by :meth:`add`): warm-cache estimator
+        lookups are dominated by this hash, so repeated pricing of the same
+        candidate must not re-serialize the layer list.
         """
-        return fingerprint_payload(
-            {
-                "name": self.name,
-                "layers": [layer_to_dict(layer) for layer in self],
-            }
-        )
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_payload(
+                {
+                    "name": self.name,
+                    "layers": [layer_to_dict(layer) for layer in self],
+                }
+            )
+        return self._fingerprint
 
     def max_input_bits(self) -> int:
         return max((layer.input_bits for layer in self.compute_layers()), default=8)

@@ -23,11 +23,12 @@ every input.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Generic, Iterable, Sequence, Tuple, TypeVar
 
 __all__ = [
     "OBJECTIVES",
     "Objective",
+    "ParetoArchive",
     "dominates",
     "pareto_indices",
     "pareto_indices_quadratic",
@@ -148,6 +149,51 @@ def pareto_indices(vectors: Sequence[Sequence[float]]) -> list[int]:
             survivors.extend(order[start:stop])
         start = stop
     return sorted(survivors)
+
+
+class ParetoArchive(Generic[T]):
+    """Incremental Pareto frontier over a stream of evaluated items.
+
+    Feed batches of ``(item, objective_vector)`` pairs as a search produces
+    them; the archive keeps only the currently non-dominated entries.  Each
+    :meth:`extend` merges the surviving frontier with the new batch through
+    one :func:`pareto_indices` pass, so a search never re-reduces its full
+    evaluation history.  By transitivity of dominance this incremental
+    frontier equals the frontier of everything ever fed (any point dominated
+    by a discarded entry is also dominated by whichever frontier entry
+    displaced it) — property-tested against the one-shot reduction.
+
+    Insertion order among survivors is preserved, and — matching
+    :func:`dominates` — entries with identical vectors all survive.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[Tuple[T, tuple[float, ...]]] = []
+
+    def extend(self, batch: Iterable[Tuple[T, Sequence[float]]]) -> None:
+        """Merge a batch of ``(item, vector)`` pairs into the frontier."""
+        merged = self._entries + [(item, tuple(vector)) for item, vector in batch]
+        if not merged:
+            return
+        keep = pareto_indices([vector for _, vector in merged])
+        self._entries = [merged[index] for index in keep]
+
+    def add(self, item: T, vector: Sequence[float]) -> None:
+        self.extend([(item, vector)])
+
+    @property
+    def items(self) -> list[T]:
+        return [item for item, _ in self._entries]
+
+    @property
+    def vectors(self) -> list[tuple[float, ...]]:
+        return [vector for _, vector in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterable[Tuple[T, tuple[float, ...]]]:
+        return iter(self._entries)
 
 
 def pareto_front(

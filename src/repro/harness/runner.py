@@ -68,10 +68,12 @@ __all__ = [
     "ExperimentSpec",
     "run_experiments",
     "build_report",
+    "build_nas_report",
     "build_sweep_report",
     "build_sweep_dry_run_report",
     "format_cache_info",
     "main",
+    "nas_main",
     "sweep_main",
 ]
 
@@ -521,6 +523,112 @@ def sweep_main(argv: list[str] | None = None) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# NAS candidate search (``python -m repro.harness nas SPEC``)
+# ---------------------------------------------------------------------- #
+def build_nas_report(
+    spec_path: str,
+    cache_dir: str | None = None,
+    max_cache_bytes: int | None = None,
+) -> str:
+    """Run one spec-file NAS search and render its report.
+
+    The search prices candidates through the cache-composition estimator
+    (:mod:`repro.nas`); ``--cache-dir`` makes the layer cache persistent,
+    so a second search — or a search after a report run against the same
+    directory — starts warm.  The footer reports the estimator's hit rate,
+    layers simulated vs composed, and candidates per second.
+    """
+    # Imported here so `python -m repro.harness --list` stays import-light.
+    from repro.nas import Estimator, SearchSpec, format_search_report, run_search
+
+    spec = SearchSpec.from_file(spec_path)
+    cache = ResultCache(cache_dir, max_bytes=max_cache_bytes)
+    estimator = Estimator(cache=cache, batch_size=spec.batch_size)
+    result = run_search(spec, estimator=estimator)
+    stats = estimator.stats
+    footer = [
+        stats.summary(),
+        f"candidates/second: {result.candidates_per_second:.1f}",
+        f"estimate time: {stats.estimate_seconds:.3f} s "
+        f"(sim {stats.sim_seconds:.3f} s)",
+    ]
+    if cache.cache_dir is not None:
+        footer.append(f"persistent cache: {cache.cache_dir}")
+        if cache.max_bytes is not None:
+            footer.append(
+                f"cache size budget: {cache.max_bytes / (1024 * 1024):.1f} MB (LRU)"
+            )
+    sections = [
+        "# Bit Fusion NAS candidate search",
+        "",
+        f"_repro {__version__} — spec: {spec_path}_",
+        "",
+        "```",
+        format_search_report(result),
+        "```",
+        "",
+        "## Estimator statistics",
+        "",
+        "```",
+        *footer,
+        "```",
+        "",
+    ]
+    return "\n".join(sections)
+
+
+def nas_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``nas`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness nas",
+        description="Run a NAS-style candidate search from a JSON spec file: "
+        "random + evolutionary mutation over a zoo network, priced through "
+        "the cache-composition surrogate estimator. See docs/nas.md for "
+        "the spec schema.",
+    )
+    parser.add_argument("spec", metavar="SPEC", help="path to the nas spec (.json)")
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the search report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persist programs and per-layer simulation results under PATH; "
+        "searches (and report runs) sharing the directory start warm",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size budget for the on-disk cache (requires --cache-dir)",
+    )
+    args = parser.parse_args(argv)
+    max_cache_bytes = None
+    if args.cache_max_mb is not None:
+        if args.cache_dir is None:
+            parser.error("--cache-max-mb requires --cache-dir")
+        if args.cache_max_mb <= 0:
+            parser.error(f"--cache-max-mb must be positive, got {args.cache_max_mb}")
+        max_cache_bytes = int(args.cache_max_mb * 1024 * 1024)
+    try:
+        report = build_nas_report(
+            args.spec, cache_dir=args.cache_dir, max_cache_bytes=max_cache_bytes
+        )
+    except (KeyError, OSError, RuntimeError, ValueError) as error:
+        parser.error(str(error))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote nas report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # Cache introspection (``--cache-info``)
 # ---------------------------------------------------------------------- #
 def format_cache_info(cache_dir: str) -> str:
@@ -546,10 +654,30 @@ def format_cache_info(cache_dir: str) -> str:
     total_bytes = sum(bucket["bytes"] for bucket in summary.values())
     for kind in sorted(summary):
         bucket = summary[kind]
-        lines.append(
-            f"{kind}: {bucket['entries']} entries, {bucket['bytes'] / 1024:.1f} KiB"
-        )
+        line = f"{kind}: {bucket['entries']} entries, {bucket['bytes'] / 1024:.1f} KiB"
+        # Reuse traffic per kind: how many lookups the directory has served
+        # since its entries were written (touch counts from the manifest).
+        if bucket.get("refs"):
+            line += f", {bucket['refs']} reuse hits"
+        lines.append(line)
     lines.append(f"total: {total_entries} entries, {total_bytes / 1024:.1f} KiB")
+    # The layer level is what the NAS estimator composes from for free:
+    # report its dedupe ratio (reuse hits per stored entry) and the hottest
+    # content fingerprints so users can see what a search will inherit.
+    layers = summary.get("layer")
+    if layers and layers["entries"]:
+        ratio = layers["refs"] / layers["entries"]
+        lines.append(f"layer dedupe ratio: {ratio:.1f} reuse hits per stored layer")
+        top = cache.top_referenced("layer", limit=5)
+        if top:
+            lines.append("most-referenced layers:")
+            for entry in top:
+                workload = entry.get("workload") or {}
+                origin = workload.get("network") or workload.get("workload") or "?"
+                lines.append(
+                    f"  {entry['key'][:16]}…  {entry['refs']} hits  "
+                    f"(first stored by {origin})"
+                )
     return "\n".join(lines)
 
 
@@ -558,12 +686,16 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "nas":
+        return nas_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the Bit Fusion paper's tables and figures. "
-        "Design-space sweeps run via the 'sweep' subcommand: "
-        "python -m repro.harness sweep SPEC [options] "
-        "(full reference: docs/cli.md).",
+        "Design-space sweeps run via the 'sweep' subcommand "
+        "(python -m repro.harness sweep SPEC [options]) and NAS candidate "
+        "searches via the 'nas' subcommand "
+        "(python -m repro.harness nas SPEC [options]); "
+        "full reference: docs/cli.md.",
     )
     parser.add_argument(
         "--experiments",

@@ -1,0 +1,317 @@
+"""Cache-composition surrogate estimator: price networks without simulating.
+
+The content-addressed layer cache already holds exactly what a layer-based
+NAS cost model needs: per-layer :class:`~repro.sim.results.LayerResult`\\ s
+keyed by *name-free* layer-content fingerprints plus the simulation-affecting
+configuration.  :class:`Estimator` turns that store into a surrogate
+latency/energy estimator for arbitrary candidate
+:class:`~repro.dnn.network.Network`\\ s — no zoo registration, no
+:class:`~repro.session.workload.Workload`:
+
+1. **compile through the shared program cache** — the candidate's program is
+   keyed by :func:`~repro.session.engine.program_content_key`, the exact
+   payload session runs use, so a zoo network priced here reuses the program
+   a report compiled (and vice versa); fresh compilations go through the
+   session's tiling memo (:func:`~repro.session.engine.make_plan_resolver`);
+2. **resolve every block through both cache levels**
+   (:func:`~repro.session.engine.lookup_block`) — blocks whose content the
+   cache has seen, under *any* network or layer name, compose for free;
+3. **batch only the genuinely unseen layers** through the existing batched
+   executor (:func:`~repro.session.engine.simulate_planned_blocks`) and
+   store their results back under both cache levels
+   (:func:`~repro.session.engine.store_layer_record`), so each novel layer
+   is simulated exactly once across a whole search;
+4. **compose** via :func:`~repro.sim.results.compose_network_result` — the
+   same pure composition the simulator and the session use.
+
+**Exactness guarantee**: the estimate is not an approximation.  Composition
+is pure and cached layer records are byte-identical to fresh simulations,
+so ``estimate(network)`` returns a result byte-identical to
+``BitFusionAccelerator(config).evaluate(network)`` — on a fully-cached
+network without running any simulation at all.  ``tests/test_nas.py``
+property-tests this cold, warm and partially warm.
+
+``estimate_many`` deduplicates candidates by network fingerprint and unseen
+blocks by content within the batch (the ``claimed``-set protocol
+:func:`~repro.session.engine.plan_workload` uses), so an evolutionary
+population full of near-clones costs one simulation per genuinely novel
+layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import BitFusionConfig
+from repro.dnn.network import Network
+from repro.isa.compiler import FusionCompiler
+from repro.isa.program import Program
+from repro.session.cache import CacheStats, ResultCache
+from repro.session.engine import (
+    block_cache_key,
+    layer_cache_key,
+    lookup_block,
+    make_plan_resolver,
+    program_content_key,
+    simulate_planned_blocks,
+    store_layer_record,
+)
+from repro.sim.results import LayerResult, NetworkResult, compose_network_result
+
+__all__ = ["Estimator", "EstimatorStats"]
+
+
+@dataclass
+class EstimatorStats:
+    """What the estimator did, in layers and candidates.
+
+    ``networks`` counts candidates requested, ``networks_deduped`` the
+    subset that were in-batch duplicates of another candidate (same network
+    fingerprint — priced once).  Per block of every unique candidate:
+    ``layers_composed`` were served straight from the cache (block- or
+    layer-level), ``layers_simulated`` were genuinely novel and simulated
+    (exactly once each), and ``deduped`` were deferred to an identical
+    in-flight block of the same batch.  ``programs_compiled`` /
+    ``programs_reused`` track the compile stage the same way.
+    """
+
+    networks: int = 0
+    networks_deduped: int = 0
+    layers_composed: int = 0
+    layers_simulated: int = 0
+    deduped: int = 0
+    programs_compiled: int = 0
+    programs_reused: int = 0
+    estimate_seconds: float = 0.0
+    sim_seconds: float = 0.0
+
+    @property
+    def layer_lookups(self) -> int:
+        return self.layers_composed + self.layers_simulated + self.deduped
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of layer lookups served without fresh simulation."""
+        lookups = self.layer_lookups
+        return (self.layers_composed + self.deduped) / lookups if lookups else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"estimator: {self.networks} candidates priced "
+            f"({self.networks_deduped} in-batch duplicates), "
+            f"layer hit rate {self.hit_rate:.0%}",
+            f"layers: {self.layers_composed} composed from cache, "
+            f"{self.layers_simulated} simulated fresh, "
+            f"{self.deduped} deduped in flight",
+            f"programs: {self.programs_reused} reused, {self.programs_compiled} compiled",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _CandidatePlan:
+    """One candidate's cache-resolution plan (duck-types
+    :class:`~repro.session.engine.PlanLike` for the batched executor)."""
+
+    network: Network
+    fingerprint: str
+    program: Program
+    config: BitFusionConfig
+    cached_layers: dict[int, LayerResult] = field(default_factory=dict)
+    simulate_indices: tuple[int, ...] = ()
+    deferred_indices: tuple[int, ...] = ()
+
+
+class Estimator:
+    """Price candidate networks by cache lookup + composition.
+
+    Parameters
+    ----------
+    config:
+        The Bit Fusion configuration candidates are priced under; defaults
+        to the paper's Eyeriss-matched 45 nm configuration.
+    cache:
+        The artifact cache consulted and grown.  Pass the cache of a
+        previous session run (or a persistent ``ResultCache(cache_dir)``)
+        to start warm; defaults to a fresh memory-only cache.
+    batch_size:
+        Inference batch size; defaults to ``config.batch_size`` — the same
+        default ``BitFusionAccelerator.evaluate`` applies, which the
+        exactness guarantee relies on.
+    enable_loop_ordering, enable_layer_fusion:
+        Compiler flags, part of the program cache key.
+
+    ``stats`` (:class:`EstimatorStats`) counts candidates and layers;
+    ``cache_stats`` (:class:`~repro.session.cache.CacheStats`) carries the
+    per-stage hit/miss traffic in the same shape session footers report.
+    """
+
+    def __init__(
+        self,
+        config: BitFusionConfig | None = None,
+        cache: ResultCache | None = None,
+        *,
+        batch_size: int | None = None,
+        enable_loop_ordering: bool = True,
+        enable_layer_fusion: bool = True,
+    ) -> None:
+        self.config = config if config is not None else BitFusionConfig.eyeriss_matched()
+        self.batch_size = self.config.batch_size if batch_size is None else batch_size
+        if self.batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {self.batch_size}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.enable_loop_ordering = enable_loop_ordering
+        self.enable_layer_fusion = enable_layer_fusion
+        self.stats = EstimatorStats()
+        self.cache_stats = CacheStats()
+        self._resolver = make_plan_resolver(self.config, self.cache, self.cache_stats)
+
+    # ------------------------------------------------------------------ #
+    # Pricing
+    # ------------------------------------------------------------------ #
+    def estimate(self, network: Network) -> NetworkResult:
+        """Price one candidate network (see :meth:`estimate_many`)."""
+        return self.estimate_many([network])[0]
+
+    def estimate_many(self, networks: list[Network]) -> list[NetworkResult]:
+        """Price a batch of candidates, deduped and batch-simulated.
+
+        Candidates are deduplicated by network fingerprint; the unique ones
+        are planned against the cache, their collectively-unseen blocks
+        simulate in one batched pass, and every result composes from cached
+        plus fresh records.  Returns one result per input, in input order
+        (duplicates get the shared result object).
+        """
+        started = time.perf_counter()
+        requested: list[str] = []
+        unique: dict[str, Network] = {}
+        for network in networks:
+            fingerprint = network.fingerprint()
+            requested.append(fingerprint)
+            self.stats.networks += 1
+            if fingerprint in unique:
+                self.stats.networks_deduped += 1
+            else:
+                unique[fingerprint] = network
+        claimed: set[str] = set()
+        plans = [
+            self._plan(network, fingerprint, claimed)
+            for fingerprint, network in unique.items()
+        ]
+        sim_started = time.perf_counter()
+        remote = simulate_planned_blocks(plans)
+        sim_seconds = time.perf_counter() - sim_started
+        self.stats.sim_seconds += sim_seconds
+        self.cache_stats.sim_seconds += sim_seconds
+        results = {
+            plan.fingerprint: self._compose(plan, remote_layers)
+            for plan, remote_layers in zip(plans, remote)
+        }
+        self.cache.flush()
+        self.stats.estimate_seconds += time.perf_counter() - started
+        return [results[fingerprint] for fingerprint in requested]
+
+    # ------------------------------------------------------------------ #
+    # Stages
+    # ------------------------------------------------------------------ #
+    def _obtain_program(self, network: Network, fingerprint: str) -> Program:
+        key = program_content_key(
+            fingerprint,
+            self.batch_size,
+            self.config,
+            self.enable_loop_ordering,
+            self.enable_layer_fusion,
+        )
+        value, source = self.cache.get_with_source(key)
+        if value is not None:
+            self.cache_stats.programs.record_hit(source)
+            self.stats.programs_reused += 1
+            return value
+        self.cache_stats.programs.record_miss()
+        self.stats.programs_compiled += 1
+        compile_started = time.perf_counter()
+        compiler = FusionCompiler(
+            self.config,
+            enable_loop_ordering=self.enable_loop_ordering,
+            enable_layer_fusion=self.enable_layer_fusion,
+            plan_resolver=self._resolver,
+        )
+        program = compiler.compile(network, batch_size=self.batch_size)
+        self.cache_stats.compile_seconds += time.perf_counter() - compile_started
+        self.cache.put(key, program, {"artifact": "program", "network": network.name})
+        return program
+
+    def _plan(self, network: Network, fingerprint: str, claimed: set[str]) -> _CandidatePlan:
+        program = self._obtain_program(network, fingerprint)
+        cached: dict[int, LayerResult] = {}
+        simulate: list[int] = []
+        deferred: list[int] = []
+        for index, compiled in enumerate(program):
+            value, level, source = lookup_block(compiled, self.config, self.cache)
+            if value is not None:
+                (self.cache_stats.blocks if level == "block" else self.cache_stats.layers).record_hit(source)
+                self.stats.layers_composed += 1
+                cached[index] = value
+                continue
+            block_key = block_cache_key(compiled.fingerprint(), self.config)
+            layer_key = layer_cache_key(compiled, self.config)
+            # Same in-batch claim protocol as plan_workload: identical layer
+            # content already scheduled by this batch is deferred to compose
+            # time, never simulated twice.
+            if block_key in claimed or layer_key in claimed:
+                deferred.append(index)
+                self.stats.deduped += 1
+                continue
+            claimed.add(block_key)
+            claimed.add(layer_key)
+            self.cache_stats.blocks.record_miss()
+            self.cache_stats.layers.record_miss()
+            self.stats.layers_simulated += 1
+            simulate.append(index)
+        return _CandidatePlan(
+            network=network,
+            fingerprint=fingerprint,
+            program=program,
+            config=self.config,
+            cached_layers=cached,
+            simulate_indices=tuple(simulate),
+            deferred_indices=tuple(deferred),
+        )
+
+    def _compose(
+        self, plan: _CandidatePlan, remote_layers: dict[int, LayerResult]
+    ) -> NetworkResult:
+        layers: list[LayerResult] = []
+        for index, compiled in enumerate(plan.program):
+            if index in plan.cached_layers:
+                layers.append(plan.cached_layers[index])
+                continue
+            if index in remote_layers:
+                layer = remote_layers[index]
+                store_layer_record(
+                    self.cache,
+                    self.config,
+                    compiled,
+                    layer,
+                    {"network": plan.network.name, "estimator": "nas"},
+                )
+                layers.append(layer)
+                continue
+            # Deferred: the claiming plan (earlier in this batch, or an
+            # earlier block of this very program) has stored the record.
+            value, level, source = lookup_block(compiled, self.config, self.cache)
+            if value is None:  # pragma: no cover — claim protocol guarantees it
+                raise RuntimeError(
+                    f"deferred block {compiled.name!r} of {plan.network.name!r} "
+                    "missing at compose time"
+                )
+            (self.cache_stats.blocks if level == "block" else self.cache_stats.layers).record_hit(source)
+            layers.append(value)
+        return compose_network_result(
+            network_name=plan.program.network_name,
+            platform=self.config.name,
+            batch_size=self.batch_size,
+            frequency_mhz=self.config.frequency_mhz,
+            layers=layers,
+        )

@@ -347,6 +347,9 @@ class ResultCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_bytes = max_bytes
         self._manifest: dict[str, dict[str, Any]] = {}
+        #: Memory-only keys whose recency touches route to another key's
+        #: manifest entry (:meth:`alias`) — promoted layer-level hits.
+        self._aliases: dict[str, str] = {}
         self._manifest_dirty = False
         self._seq = 0
         if self.cache_dir is not None:
@@ -443,18 +446,38 @@ class ResultCache:
         """Flush any pending manifest updates (recency touches) to disk."""
         self._flush_manifest()
 
+    def alias(self, key: str, target: str) -> None:
+        """Route recency touches on a memory-only ``key`` to ``target``.
+
+        The engine's layer-level dedupe promotes a layer hit into memory
+        under the requesting *block* key without persisting it (the payload
+        already lives on disk under the layer key).  Repeat memory hits on
+        that block key would otherwise touch nothing — the block key has no
+        manifest entry — leaving the hot backing layer entry LRU-coldest
+        and first to be evicted under a size budget.  Aliasing makes those
+        touches land on the persistent entry that actually serves them.
+        """
+        if key != target:
+            self._aliases[key] = target
+
     def _touch(self, key: str) -> None:
-        """Mark an entry most-recently-used.
+        """Mark an entry (or the entry it aliases) most-recently-used.
 
         Touches are batched in memory and flushed with the next write (or an
         explicit :meth:`flush`): a warm, read-mostly run should not rewrite
-        the manifest once per lookup, and recency is advisory anyway.
+        the manifest once per lookup, and recency is advisory anyway.  Each
+        touch also increments the entry's ``refs`` counter — the per-entry
+        reuse statistic ``--cache-info`` reports.
         """
         entry = self._manifest.get(key)
         if entry is None:
-            return
+            target = self._aliases.get(key)
+            entry = self._manifest.get(target) if target is not None else None
+            if entry is None:
+                return
         self._seq += 1
         entry["seq"] = self._seq
+        entry["refs"] = int(entry.get("refs", 0)) + 1
         self._manifest_dirty = True
 
     def _evict_over_budget(self, protected: str) -> None:
@@ -579,10 +602,14 @@ class ResultCache:
             finally:
                 self.io_seconds += time.perf_counter() - started
             self._seq += 1
+            # Overwrites keep the accumulated reference count: the entry's
+            # payload is new but its reuse history is not.
+            refs = int(self._manifest.get(key, {}).get("refs", 0))
             self._manifest[key] = {
                 "kind": kind,
                 "bytes": len(text.encode("utf-8")),
                 "seq": self._seq,
+                "refs": refs,
             }
             self._manifest_dirty = True
             self._evict_over_budget(protected=key)
@@ -605,7 +632,42 @@ class ResultCache:
         summary: dict[str, dict[str, int]] = {}
         for entry in self._manifest.values():
             kind = str(entry.get("kind", "unknown"))
-            bucket = summary.setdefault(kind, {"entries": 0, "bytes": 0})
+            bucket = summary.setdefault(kind, {"entries": 0, "bytes": 0, "refs": 0})
             bucket["entries"] += 1
             bucket["bytes"] += int(entry.get("bytes", 0))
+            bucket["refs"] += int(entry.get("refs", 0))
         return summary
+
+    def top_referenced(self, kind: str, limit: int = 5) -> list[dict[str, Any]]:
+        """The ``limit`` most-referenced on-disk entries of one kind.
+
+        Each record carries the entry's fingerprint ``key``, its ``refs``
+        count (touches accumulated in the manifest — recency refreshes, so
+        every memory or disk hit counts one) and the stored ``workload``
+        description (read from the entry file; empty when unreadable).
+        Zero-reference entries are omitted: an entry that was only ever
+        written tells nothing about reuse.  ``--cache-info`` prints this for
+        the content-addressed ``layer`` kind, which is what a NAS search
+        gets for free.
+        """
+        ranked = sorted(
+            (
+                (int(entry.get("refs", 0)), key)
+                for key, entry in self._manifest.items()
+                if str(entry.get("kind", "unknown")) == kind and int(entry.get("refs", 0)) > 0
+            ),
+            key=lambda item: (-item[0], item[1]),
+        )
+        records: list[dict[str, Any]] = []
+        for refs, key in ranked[:limit]:
+            description: dict[str, Any] = {}
+            if self.cache_dir is not None:
+                try:
+                    payload = json.loads(
+                        (self.cache_dir / f"{key}.json").read_text(encoding="utf-8")
+                    )
+                    description = payload.get("workload", {}) or {}
+                except (OSError, ValueError):
+                    description = {}
+            records.append({"key": key, "refs": refs, "workload": description})
+        return records

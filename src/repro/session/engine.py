@@ -55,7 +55,7 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass, replace
 from functools import lru_cache
-from typing import Any, Callable
+from typing import Any, Callable, Protocol, Sequence
 
 from repro.baselines.base import AcceleratorModel
 from repro.baselines.eyeriss import EyerissModel
@@ -76,6 +76,7 @@ from repro.sim.executor import BitFusionSimulator
 from repro.sim.results import LayerResult, NetworkResult, compose_network_result
 
 __all__ = [
+    "PlanLike",
     "WorkPlan",
     "WorkResult",
     "WorkUnit",
@@ -94,8 +95,11 @@ __all__ = [
     "obtain_program",
     "plan_workload",
     "program_cache_key",
+    "program_content_key",
     "simulate_planned_blocks",
     "simulator_for",
+    "store_block_result",
+    "store_layer_record",
     "tiling_cache_key",
     "try_compose_from_cache",
 ]
@@ -234,6 +238,40 @@ def compile_workload(workload: Workload) -> ProgramStats:
     return ProgramStats.from_program(compile_program(workload))
 
 
+def program_content_key(
+    network_fingerprint: str,
+    batch_size: int,
+    config: BitFusionConfig,
+    enable_loop_ordering: bool = True,
+    enable_layer_fusion: bool = True,
+) -> str:
+    """Structure-only compile-stage key from its raw inputs.
+
+    The payload is exactly :func:`program_cache_key`'s, but built from a
+    network fingerprint instead of a zoo-registered :class:`Workload` — this
+    is what lets the NAS estimator (:mod:`repro.nas`) price arbitrary
+    candidate networks while sharing compiled-program entries with ordinary
+    session runs: a zoo network keyed here and keyed through a workload
+    lands on the same entry by construction.
+    """
+    return fingerprint_payload(
+        {
+            "artifact": "program",
+            "network": network_fingerprint,
+            "batch_size": batch_size,
+            "buffers": {
+                "ibuf_kb": config.ibuf_kb,
+                "wbuf_kb": config.wbuf_kb,
+                "obuf_kb": config.obuf_kb,
+            },
+            "compiler": {
+                "enable_loop_ordering": enable_loop_ordering,
+                "enable_layer_fusion": enable_layer_fusion,
+            },
+        }
+    )
+
+
 def program_cache_key(workload: Workload) -> str:
     """Structure-only cache key of the compile stage.
 
@@ -246,22 +284,12 @@ def program_cache_key(workload: Workload) -> str:
     those share one compiled artifact.
     """
     _require_bitfusion(workload)
-    config: BitFusionConfig = workload.config
-    return fingerprint_payload(
-        {
-            "artifact": "program",
-            "network": network_digest(workload),
-            "batch_size": workload.batch_size,
-            "buffers": {
-                "ibuf_kb": config.ibuf_kb,
-                "wbuf_kb": config.wbuf_kb,
-                "obuf_kb": config.obuf_kb,
-            },
-            "compiler": {
-                "enable_loop_ordering": workload.enable_loop_ordering,
-                "enable_layer_fusion": workload.enable_layer_fusion,
-            },
-        }
+    return program_content_key(
+        network_digest(workload),
+        workload.batch_size,
+        workload.config,
+        workload.enable_loop_ordering,
+        workload.enable_layer_fusion,
     )
 
 
@@ -340,12 +368,30 @@ def _sim_config_payload(config: BitFusionConfig) -> dict[str, Any]:
     }
 
 
+@lru_cache(maxsize=None)
 def block_cache_key(block_fingerprint: str, config: BitFusionConfig) -> str:
-    """Cache key of one simulated block: block content + sim-affecting config."""
+    """Cache key of one simulated block: block content + sim-affecting config.
+
+    Memoized: both inputs are hashable and the key is pure, and the NAS
+    estimator's warm path (:mod:`repro.nas`) resolves every block of every
+    candidate through this key — re-hashing the sim-config payload per
+    lookup would dominate a fully-cached estimate.
+    """
     return fingerprint_payload(
         {
             "artifact": "block",
             "block": block_fingerprint,
+            "sim": _sim_config_payload(config),
+        }
+    )
+
+
+@lru_cache(maxsize=None)
+def _layer_content_key(layer_fingerprint: str, config: BitFusionConfig) -> str:
+    return fingerprint_payload(
+        {
+            "artifact": "layer",
+            "layer": layer_fingerprint,
             "sim": _sim_config_payload(config),
         }
     )
@@ -361,15 +407,10 @@ def layer_cache_key(compiled: CompiledBlock, config: BitFusionConfig) -> str:
     or which layer name within a network — produced them.  Block-level
     lookups fall back to this key on a miss, which is what dedupes
     simulations across the model-family sweeps the paper's benchmark suite
-    is full of.
+    is full of.  Memoized like :func:`block_cache_key` (the layer
+    fingerprint is itself memoized on the block instance).
     """
-    return fingerprint_payload(
-        {
-            "artifact": "layer",
-            "layer": compiled.layer_fingerprint(),
-            "sim": _sim_config_payload(config),
-        }
-    )
+    return _layer_content_key(compiled.layer_fingerprint(), config)
 
 
 def lookup_block(
@@ -390,34 +431,55 @@ def lookup_block(
     value, source = cache.get_with_source(block_key)
     if value is not None:
         return value, "block", source
-    value, source = cache.get_with_source(layer_cache_key(compiled, config))
+    layer_key = layer_cache_key(compiled, config)
+    value, source = cache.get_with_source(layer_key)
     if value is None:
         return None, None, "miss"
     value = replace(value, name=compiled.name)
     cache.put(block_key, value, persist=False)
+    # The promoted block key has no manifest entry of its own (the payload
+    # persists under the layer key), so route its recency touches to the
+    # backing layer entry — otherwise a hot shared layer served through
+    # promoted block keys looks LRU-coldest on disk and is evicted first.
+    cache.alias(block_key, layer_key)
     return value, "layer", source
 
 
-def store_block_result(
-    cache: ResultCache, workload: Workload, compiled: CompiledBlock, layer: LayerResult
+def store_layer_record(
+    cache: ResultCache,
+    config: BitFusionConfig,
+    compiled: CompiledBlock,
+    layer: LayerResult,
+    description: dict[str, Any] | None = None,
 ) -> None:
     """Store one freshly simulated block under both cache levels.
 
     The block-keyed entry serves exact repeats; the layer-keyed entry (name
     normalized away, so the stored payload is independent of which network
-    asked first) serves any block with identical layer content.
+    asked first) serves any block with identical layer content.  Takes the
+    raw configuration rather than a :class:`Workload` so callers pricing
+    arbitrary networks (the NAS estimator) insert records the same way
+    session runs do.
     """
+    description = description or {}
     cache.put(
-        block_cache_key(compiled.fingerprint(), workload.config),
+        block_cache_key(compiled.fingerprint(), config),
         layer,
-        {**workload.describe(), "artifact": "block", "block": compiled.name},
+        {**description, "artifact": "block", "block": compiled.name},
     )
     cache.put(
-        layer_cache_key(compiled, workload.config),
+        layer_cache_key(compiled, config),
         replace(layer, name=""),
-        {**workload.describe(), "artifact": "layer", "block": compiled.name},
+        {**description, "artifact": "layer", "block": compiled.name},
         kind="layer",
     )
+
+
+def store_block_result(
+    cache: ResultCache, workload: Workload, compiled: CompiledBlock, layer: LayerResult
+) -> None:
+    """Store one freshly simulated workload block (:func:`store_layer_record`)."""
+    store_layer_record(cache, workload.config, compiled, layer, workload.describe())
 
 
 # ---------------------------------------------------------------------- #
@@ -618,6 +680,23 @@ def execute_work_unit(unit: WorkUnit) -> WorkResult:
         )
 
 
+class PlanLike(Protocol):
+    """What :func:`simulate_planned_blocks` needs from a plan.
+
+    Satisfied by :class:`WorkPlan` and by the NAS estimator's candidate
+    plans (:mod:`repro.nas.estimator`), which carry no :class:`Workload`.
+    """
+
+    @property
+    def program(self) -> Program | None: ...
+
+    @property
+    def simulate_indices(self) -> tuple[int, ...]: ...
+
+    @property
+    def config(self) -> BitFusionConfig: ...
+
+
 @dataclass(frozen=True)
 class WorkPlan:
     """The main process's cache-resolution plan for one pending workload.
@@ -634,6 +713,17 @@ class WorkPlan:
     cached_layers: dict[int, LayerResult]
     simulate_indices: tuple[int, ...]
     deferred_indices: tuple[int, ...]
+
+    @property
+    def config(self) -> BitFusionConfig:
+        """The simulation configuration — the duck-typed plan interface.
+
+        :func:`simulate_planned_blocks` reads only ``program``,
+        ``simulate_indices`` and ``config`` from a plan, so the NAS
+        estimator's workload-free candidate plans batch through the same
+        executor.
+        """
+        return self.workload.config
 
     @property
     def needs_worker(self) -> bool:
@@ -757,7 +847,7 @@ def compose_plan(
 
 
 def simulate_planned_blocks(
-    plans: list[WorkPlan],
+    plans: Sequence["PlanLike"],
 ) -> list[dict[int, LayerResult]]:
     """Simulate every planned-but-missing block across ``plans``, batched.
 
@@ -784,7 +874,7 @@ def simulate_planned_blocks(
     for plan_index, plan in enumerate(plans):
         if plan.program is None or not plan.simulate_indices:
             continue
-        config = plan.workload.config
+        config = plan.config
         key = fingerprint_payload({"sim": _sim_config_payload(config)})
         _, items = by_config.setdefault(key, (config, []))
         blocks = plan.program.blocks

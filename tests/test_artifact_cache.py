@@ -21,7 +21,7 @@ from dataclasses import replace
 import pytest
 
 from repro.harness.experiments import fig16_batch
-from repro.harness.runner import build_report
+from repro.harness.runner import build_report, format_cache_info
 from repro.isa.block import InstructionBlock
 from repro.isa.program import CompiledBlock
 from repro.session import (
@@ -339,6 +339,64 @@ class TestContentAddressedLayerLevel:
         entry = json.loads((tmp_path / f"{key}.json").read_text(encoding="utf-8"))
         assert entry["kind"] == "layer"
         assert entry["payload"]["name"] == ""
+
+
+class TestLayerRecencyAndReuseStats:
+    def test_promoted_block_hits_keep_the_backing_layer_entry_hot(self, tmp_path):
+        # A layer-level dedupe hit is promoted into memory under the block
+        # key without a manifest entry of its own; the recency touch of
+        # every repeat hit on that block key must land on the *layer* entry
+        # that actually serves it, or the hottest shared layers look
+        # LRU-coldest under --cache-max-mb and are evicted first.
+        from repro.session.engine import lookup_block
+        from repro.sim import BitFusionSimulator
+
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        config = workload.config
+        compiled_a, compiled_b = compile_program(workload)[:2]
+        simulator = BitFusionSimulator(config)
+        key_a = layer_cache_key(compiled_a, config)
+        key_b = layer_cache_key(compiled_b, config)
+        writer = ResultCache(tmp_path)
+        writer.put(key_a, replace(simulator.run_block(compiled_a), name=""), kind="layer")
+        writer.put(key_b, replace(simulator.run_block(compiled_b), name=""), kind="layer")
+        writer.flush()
+        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
+        total = sum(entry["bytes"] for entry in manifest["entries"].values())
+
+        reader = ResultCache(tmp_path, max_bytes=total)
+        value, level, _ = lookup_block(compiled_a, config, reader)
+        assert value is not None
+        assert level == "layer"  # dedupe hit, promoted memory-only
+        assert reader.get(key_b) is not None  # key_b now most recent on disk
+        value, level, source = lookup_block(compiled_a, config, reader)
+        assert (level, source) == ("block", "memory")  # served by the promotion
+        reader.put("filler", _stats("f"))  # over budget: evict the LRU entry
+        stems = _entry_stems(tmp_path)
+        assert key_a in stems  # the aliased touch kept it hot
+        assert key_b not in stems  # genuinely least recently used
+
+    def test_cache_info_reports_layer_reuse_statistics(self, tmp_path):
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        with EvaluationSession(cache_dir=tmp_path) as session:
+            session.run(workload)
+        key = layer_cache_key(compile_program(workload)[0], workload.config)
+        reader = ResultCache(tmp_path)
+        for _ in range(3):  # one disk hit, two memory hits — all count
+            assert reader.get(key) is not None
+        reader.flush()
+
+        summary = ResultCache(tmp_path).entry_summary()
+        assert summary["layer"]["refs"] >= 3
+        top = ResultCache(tmp_path).top_referenced("layer", limit=2)
+        assert top and top[0]["key"] == key
+        assert top[0]["refs"] >= 3
+        info = format_cache_info(str(tmp_path))
+        assert "reuse hits" in info
+        assert "layer dedupe ratio" in info
+        assert "most-referenced layers" in info
+        assert key[:16] in info
+        assert "first stored by" in info
 
 
 class TestLongestJobFirst:

@@ -203,6 +203,65 @@ class TestParetoSortBasedEquivalence:
         assert pareto_indices(points) == list(range(2000))
 
 
+class TestParetoArchive:
+    def test_incremental_extend_matches_one_shot_reduction(self):
+        from repro.dse.pareto import ParetoArchive
+
+        vectors = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (0.5, 4.0), (4.0, 0.5)]
+        archive = ParetoArchive()
+        for index, vector in enumerate(vectors):
+            archive.add(index, vector)
+        expected = pareto_indices(vectors)
+        assert sorted(archive.items) == expected
+
+    def test_dominated_entry_is_displaced_later(self):
+        from repro.dse.pareto import ParetoArchive
+
+        archive = ParetoArchive()
+        archive.extend([("worse", (2.0, 2.0))])
+        assert archive.items == ["worse"]
+        archive.extend([("better", (1.0, 1.0))])
+        assert archive.items == ["better"]
+
+    def test_equal_vectors_both_survive(self):
+        from repro.dse.pareto import ParetoArchive
+
+        archive = ParetoArchive()
+        archive.extend([("a", (1.0, 1.0))])
+        archive.extend([("b", (1.0, 1.0))])
+        assert archive.items == ["a", "b"]
+        assert archive.vectors == [(1.0, 1.0), (1.0, 1.0)]
+
+    def test_empty_extend_is_a_noop(self):
+        from repro.dse.pareto import ParetoArchive
+
+        archive = ParetoArchive()
+        archive.extend([])
+        assert len(archive) == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_batched_feeding_equals_global_frontier(self, data):
+        # Transitivity of dominance makes the incremental frontier equal
+        # the frontier of everything ever fed, no matter how the stream is
+        # chopped into batches.
+        from repro.dse.pareto import ParetoArchive, pareto_indices_quadratic
+
+        coords = st.integers(min_value=0, max_value=4).map(float)
+        vectors = data.draw(
+            st.lists(st.tuples(coords, coords), min_size=0, max_size=40)
+        )
+        archive = ParetoArchive()
+        position = 0
+        while position < len(vectors):
+            size = data.draw(st.integers(min_value=1, max_value=8))
+            batch = vectors[position : position + size]
+            archive.extend(list(enumerate(batch, start=position)))
+            position += size
+        expected = pareto_indices_quadratic(vectors)
+        assert sorted(archive.items) == expected
+
+
 class TestSweepExecution:
     def test_technology_sweep_compiles_each_network_once(self):
         spec = small_spec(

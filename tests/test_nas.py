@@ -1,0 +1,361 @@
+"""Tests for the NAS subsystem: surrogate estimator, mutations, search.
+
+The load-bearing guarantee is exactness: the cache-composition estimator
+must return results byte-identical to ``BitFusionAccelerator.evaluate`` on
+any network — cold (everything simulates), warm (nothing simulates) and
+partially warm — while simulating each never-before-seen layer exactly
+once.  The hypothesis test pins the exact simulated/deduped/composed
+accounting over randomly mutated GEMM shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.accelerator import BitFusionAccelerator
+from repro.core.config import BitFusionConfig
+from repro.dnn import models
+from repro.dnn.layers import FCLayer
+from repro.dnn.network import Network
+from repro.harness.runner import main
+from repro.nas import Estimator, SearchSpec, mutate, run_search
+from repro.nas.mutations import mutate_bits, mutate_depth, mutate_width
+from repro.session import EvaluationSession, ResultCache, Workload
+from repro.session.workload import load_network
+
+
+def _config() -> BitFusionConfig:
+    return BitFusionConfig.eyeriss_matched()
+
+
+class TestEstimatorExactness:
+    @pytest.mark.parametrize("name", ["LeNet-5", "Cifar-10", "LSTM"])
+    def test_cold_estimate_matches_evaluate(self, name):
+        config = _config()
+        network = models.load(name)
+        estimate = Estimator(config).estimate(network)
+        reference = BitFusionAccelerator(config).evaluate(network)
+        # Frozen dataclasses all the way down: == is byte-identity over
+        # every field, including each per-layer record.
+        assert estimate == reference
+
+    def test_warm_estimate_is_identical_and_simulation_free(self):
+        config = _config()
+        network = models.load("Cifar-10")
+        estimator = Estimator(config)
+        cold = estimator.estimate(network)
+        simulated = estimator.stats.layers_simulated
+        compiled = estimator.stats.programs_compiled
+        warm = estimator.estimate(network)
+        assert warm == cold == BitFusionAccelerator(config).evaluate(network)
+        assert estimator.stats.layers_simulated == simulated
+        assert estimator.stats.programs_compiled == compiled
+        assert estimator.stats.programs_reused == 1
+
+    def test_partially_warm_estimate_matches_evaluate(self):
+        config = _config()
+        estimator = Estimator(config)
+        base = models.load("Cifar-10")
+        estimator.estimate(base)
+        simulated_before = estimator.stats.layers_simulated
+        mutant = mutate(base, random.Random(3))
+        estimate = estimator.estimate(mutant)
+        assert estimate == BitFusionAccelerator(config).evaluate(mutant)
+        # A single mutation leaves most layers shared with the base — only
+        # the genuinely novel ones may simulate.
+        novel = estimator.stats.layers_simulated - simulated_before
+        assert novel < len(list(mutant.compute_layers()))
+
+    def test_session_warmed_cache_prices_without_simulation(self, tmp_path):
+        # A report/sweep run and the estimator share the artifact store:
+        # pricing the same workload afterwards is pure composition.
+        workload = Workload.bitfusion("LeNet-5", batch_size=4)
+        with EvaluationSession(cache_dir=tmp_path) as session:
+            session_result = session.run(workload)
+        estimator = Estimator(
+            workload.config,
+            ResultCache(tmp_path),
+            batch_size=workload.batch_size,
+        )
+        estimate = estimator.estimate(load_network(workload))
+        assert estimator.stats.layers_simulated == 0
+        assert estimator.stats.programs_compiled == 0
+        assert estimate == session_result
+
+    def test_renamed_clone_prices_through_layer_dedupe(self):
+        # The content-addressed layer level is name-free: a candidate that
+        # renames the network and every layer costs zero simulations.
+        config = _config()
+        estimator = Estimator(config)
+        base = models.load("LeNet-5")
+        estimator.estimate(base)
+        simulated = estimator.stats.layers_simulated
+        from dataclasses import replace
+
+        clone = Network(
+            "lenet-clone",
+            [replace(layer, name=f"renamed-{i}") for i, layer in enumerate(base)],
+        )
+        estimate = estimator.estimate(clone)
+        assert estimator.stats.layers_simulated == simulated
+        assert estimate == BitFusionAccelerator(config).evaluate(clone)
+
+    def test_estimate_many_dedupes_identical_candidates(self):
+        config = _config()
+        estimator = Estimator(config)
+        network = models.load("LeNet-5")
+        twin = models.load("LeNet-5")
+        results = estimator.estimate_many([network, twin, network])
+        assert estimator.stats.networks == 3
+        assert estimator.stats.networks_deduped == 2
+        assert estimator.stats.programs_compiled == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_rejects_non_positive_batch_size(self):
+        with pytest.raises(ValueError, match="batch size"):
+            Estimator(_config(), batch_size=0)
+
+
+class TestExactSimulationAccounting:
+    """Only never-seen layer shapes simulate — exact counts, per batch."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batches=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=4, max_value=24),
+                    st.integers(min_value=4, max_value=24),
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_simulated_and_deduped_counts_are_exact(self, batches):
+        config = _config()
+        estimator = Estimator(config)
+        seen: set[tuple[int, int]] = set()
+        for batch_index, shapes in enumerate(batches):
+            network = Network(
+                f"fc-net-{batch_index}-{shapes}",
+                [
+                    FCLayer(name=f"fc{i}", in_features=n, out_features=m)
+                    for i, (n, m) in enumerate(shapes)
+                ],
+            )
+            composed = estimator.stats.layers_composed
+            simulated = estimator.stats.layers_simulated
+            deduped = estimator.stats.deduped
+            estimate = estimator.estimate(network)
+
+            # Mirror the claim protocol: cached shapes compose, the first
+            # unseen occurrence simulates, in-flight repeats defer.
+            expect_composed = expect_simulated = expect_deduped = 0
+            claimed: set[tuple[int, int]] = set()
+            for shape in shapes:
+                if shape in seen:
+                    expect_composed += 1
+                elif shape in claimed:
+                    expect_deduped += 1
+                else:
+                    claimed.add(shape)
+                    expect_simulated += 1
+            seen |= claimed
+            assert estimator.stats.layers_composed - composed == expect_composed
+            assert estimator.stats.layers_simulated - simulated == expect_simulated
+            assert estimator.stats.deduped - deduped == expect_deduped
+            # Exactness holds regardless of which path served each layer.
+            assert estimate == BitFusionAccelerator(config).evaluate(network)
+
+
+class TestMutations:
+    def test_mutants_are_valid_and_compile(self):
+        rng = random.Random(0)
+        base = models.load("ResNet-18")
+        accelerator = BitFusionAccelerator(_config())
+        for index in range(30):
+            mutant = mutate(base, rng)
+            assert len(mutant) > 0
+            assert mutant.compute_layers()
+            assert mutant.name.startswith("ResNet-18")
+            if index < 3:  # full pipeline is slow; spot-check a few
+                accelerator.evaluate(mutant)
+
+    def test_chained_mutations_stay_valid(self):
+        rng = random.Random(1)
+        network = models.load("Cifar-10")
+        for _ in range(20):
+            network = mutate(network, rng)
+            assert network.compute_layers()
+        BitFusionAccelerator(_config()).evaluate(network)
+
+    def test_mutation_is_deterministic_under_a_seed(self):
+        base = models.load("Cifar-10")
+        first = [mutate(base, random.Random(9)).fingerprint() for _ in range(1)]
+        second = [mutate(base, random.Random(9)).fingerprint() for _ in range(1)]
+        assert first == second
+
+    def test_identical_architectures_share_names(self):
+        # Content-derived names: the same mutation landing twice produces
+        # fingerprint-identical candidates (shared cache entries).
+        base = models.load("Cifar-10")
+        a = mutate_bits(base, random.Random(4))
+        b = mutate_bits(base, random.Random(4))
+        assert a is not None and b is not None
+        assert a.name == b.name
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_operators_do_not_mutate_the_input(self):
+        base = models.load("LeNet-5")
+        fingerprint = base.fingerprint()
+        rng = random.Random(2)
+        for operator in (mutate_bits, mutate_width, mutate_depth):
+            for _ in range(10):
+                operator(base, rng)
+        assert base.fingerprint() == fingerprint
+
+    def test_unknown_axis_raises(self):
+        with pytest.raises(ValueError, match="unknown mutation axes"):
+            mutate(models.load("LeNet-5"), random.Random(0), axes=("nope",))
+        with pytest.raises(ValueError, match="at least one"):
+            mutate(models.load("LeNet-5"), random.Random(0), axes=())
+
+
+class TestNetworkFingerprintMemo:
+    def test_fingerprint_invalidates_on_add(self):
+        network = Network("memo-check", [FCLayer(name="fc0")])
+        before = network.fingerprint()
+        assert network.fingerprint() == before  # memoized repeat
+        network.add(FCLayer(name="fc1"))
+        after = network.fingerprint()
+        assert after != before
+        rebuilt = Network("memo-check", [FCLayer(name="fc0"), FCLayer(name="fc1")])
+        assert rebuilt.fingerprint() == after
+
+
+class TestSearch:
+    def _spec(self, **overrides) -> SearchSpec:
+        payload = {
+            "name": "test search",
+            "base_network": "Cifar-10",
+            "population": 6,
+            "generations": 2,
+            "seed": 11,
+            "objectives": ["latency", "energy"],
+        }
+        payload.update(overrides)
+        return SearchSpec.from_dict(payload)
+
+    def test_search_is_deterministic(self):
+        first = run_search(self._spec())
+        second = run_search(self._spec())
+        assert [c.fingerprint for c in first.candidates] == [
+            c.fingerprint for c in second.candidates
+        ]
+        assert [c.objectives for c in first.frontier] == [
+            c.objectives for c in second.frontier
+        ]
+
+    def test_each_fingerprint_is_priced_exactly_once(self):
+        estimator = Estimator(_config())
+        result = run_search(self._spec(generations=3), estimator=estimator)
+        assert estimator.stats.networks == len(result.candidates)
+        assert estimator.stats.networks_deduped == 0
+        fingerprints = [candidate.fingerprint for candidate in result.candidates]
+        assert len(fingerprints) == len(set(fingerprints))
+
+    def test_frontier_is_nondominated_and_includes_generation_zero_base(self):
+        result = run_search(self._spec())
+        from repro.dse.pareto import pareto_indices
+
+        vectors = [candidate.objectives for candidate in result.candidates]
+        expected = {result.candidates[i].fingerprint for i in pareto_indices(vectors)}
+        assert {c.fingerprint for c in result.frontier} == expected
+        base_fingerprint = models.load("Cifar-10").fingerprint()
+        assert base_fingerprint in {c.fingerprint for c in result.candidates}
+
+    def test_area_objective_is_constant_but_reported(self):
+        result = run_search(self._spec(objectives=["latency", "energy", "area"]))
+        areas = {candidate.objectives[2] for candidate in result.candidates}
+        assert len(areas) == 1
+        assert next(iter(areas)) > 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown nas spec key"):
+            SearchSpec.from_dict({"base_network": "LeNet-5", "axis": []})
+        with pytest.raises(ValueError, match="'base_network'"):
+            SearchSpec.from_dict({"population": 4})
+        with pytest.raises(ValueError, match="unknown mutation axis"):
+            self._spec(axes=["widths"])
+        with pytest.raises(ValueError, match="unknown objective"):
+            self._spec(objectives=["latency", "speed"])
+        with pytest.raises(ValueError, match="population"):
+            self._spec(population=1)
+        with pytest.raises(ValueError, match="generations"):
+            self._spec(generations=0)
+        with pytest.raises(KeyError):
+            self._spec(base_network="not-a-network")
+
+    def test_spec_accepts_zoo_aliases_and_files(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"base_network": "lenet5"}), encoding="utf-8")
+        spec = SearchSpec.from_file(path)
+        assert spec.base_network == "LeNet-5"
+        assert spec.axes == ("width", "depth", "bits")
+
+    def test_estimator_and_config_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_search(self._spec(), config=_config(), estimator=Estimator(_config()))
+
+
+class TestNasCli:
+    def _write_spec(self, tmp_path) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli smoke",
+                    "base_network": "LeNet-5",
+                    "population": 4,
+                    "generations": 2,
+                    "seed": 2,
+                    "objectives": ["latency", "energy"],
+                }
+            ),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_nas_subcommand_writes_report(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        out = tmp_path / "report.md"
+        assert main(["nas", spec, "--output", str(out)]) == 0
+        report = out.read_text(encoding="utf-8")
+        assert "NAS candidate search" in report
+        assert "estimator:" in report
+        assert "candidates/second:" in report
+        assert "layer hit rate" in report
+
+    def test_nas_subcommand_warm_cache_simulates_nothing(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        cache_dir = tmp_path / "cache"
+        assert main(["nas", spec, "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["nas", spec, "--cache-dir", str(cache_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated fresh" in warm
+        assert ", 0 compiled" in warm
+        assert "layer hit rate 100%" in warm
+
+    def test_nas_subcommand_rejects_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"population": 4}), encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["nas", str(path)])
