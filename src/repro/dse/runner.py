@@ -15,10 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.dse.pareto import OBJECTIVES, pareto_front
+from repro.dse.pareto import OBJECTIVES, ParetoArchive, pareto_front
 from repro.dse.spec import DesignPoint, SweepSpec, format_axis_value
 from repro.energy.components import accelerator_area_mm2
+from repro.session.engine import QuarantineRecord, WorkloadExecutionError
 from repro.session.session import EvaluationSession, resolve_session
+from repro.session.workload import Workload
 from repro.sim.results import NetworkResult
 
 __all__ = ["EvaluatedPoint", "DesignSpaceResult", "run_sweep"]
@@ -82,11 +84,30 @@ class EvaluatedPoint:
 
 
 class DesignSpaceResult:
-    """The evaluated grid of one sweep plus its Pareto frontier."""
+    """The evaluated grid of one sweep plus its Pareto frontier.
 
-    def __init__(self, spec: SweepSpec, points: list[EvaluatedPoint]) -> None:
+    ``quarantined`` lists the workloads that failed execution twice and were
+    excluded from the grid (see :func:`run_sweep` with
+    ``allow_failures=True``); empty on a clean run.  ``streamed`` optionally
+    carries the per-(network, batch) incremental
+    :class:`~repro.dse.pareto.ParetoArchive` frontiers accumulated while the
+    sweep ran — by transitivity of dominance they hold exactly the same
+    frontier membership :meth:`pareto` computes one-shot from the full grid
+    (property-tested), but are available live, point by point, during a
+    resumable run.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        points: list[EvaluatedPoint],
+        quarantined: tuple[QuarantineRecord, ...] = (),
+        streamed: dict[tuple[str, int], ParetoArchive] | None = None,
+    ) -> None:
         self.spec = spec
         self.points = tuple(points)
+        self.quarantined = tuple(quarantined)
+        self.streamed = streamed
         self._frontier: list[EvaluatedPoint] | None = None
         for name in spec.objectives:
             if name not in OBJECTIVES:
@@ -135,9 +156,27 @@ class DesignSpaceResult:
         """Rows of the Pareto frontier only."""
         return [point.as_row() for point in self.pareto()]
 
+    def streamed_pareto(self) -> list[EvaluatedPoint]:
+        """Frontier members accumulated incrementally while the sweep ran.
+
+        Falls back to :meth:`pareto` when the sweep did not stream (points
+        supplied directly).  Membership equals :meth:`pareto` exactly —
+        ordering follows result-arrival (schedule) order rather than grid
+        order, which is why report tables render from :meth:`pareto`.
+        """
+        if self.streamed is None:
+            return self.pareto()
+        members: list[EvaluatedPoint] = []
+        for archive in self.streamed.values():
+            members.extend(archive.items)
+        return members
+
 
 def run_sweep(
-    spec: SweepSpec, session: EvaluationSession | None = None
+    spec: SweepSpec,
+    session: EvaluationSession | None = None,
+    *,
+    allow_failures: bool = False,
 ) -> DesignSpaceResult:
     """Expand and execute a sweep spec; returns the evaluated design space.
 
@@ -158,10 +197,59 @@ def run_sweep(
     points that differ only in simulation parameters (bandwidth, frequency,
     technology — same compiled blocks) collapse into one 2-D
     configs × blocks grid evaluation.
+
+    The Pareto reduction streams: as each unique workload's result lands
+    (cache hit or fresh commit), every grid point it backs feeds its
+    per-(network, batch) :class:`~repro.dse.pareto.ParetoArchive`, so a
+    checkpointed, resumable sweep always has a live incremental frontier —
+    the archives ride on the result under ``streamed``.
+
+    ``allow_failures=True`` makes a quarantine survivable: when the session
+    raises :class:`~repro.session.engine.WorkloadExecutionError` (each
+    failed workload has already been retried once), the sweep drops exactly
+    the quarantined points, re-collects the survivors from the now-warm
+    session (pure cache hits — nothing re-executes), and returns the
+    reduced grid with ``quarantined`` filled in.  With the default
+    ``allow_failures=False`` the error propagates after surviving artifacts
+    are stored, preserving the historical contract.
     """
     points = spec.expand()
-    results = resolve_session(session).run_many([point.workload for point in points])
+    extractors = [OBJECTIVES[name].extract for name in spec.objectives]
+    # A unique workload may back several grid points (duplicate settings);
+    # each arrival feeds every point it backs into its group's archive.
+    by_fingerprint: dict[str, list[DesignPoint]] = {}
+    for point in points:
+        by_fingerprint.setdefault(point.workload.fingerprint(), []).append(point)
+    archives: dict[tuple[str, int], ParetoArchive] = {}
+
+    def on_result(workload: Workload, result: NetworkResult) -> None:
+        for point in by_fingerprint.get(workload.fingerprint(), ()):
+            evaluated = EvaluatedPoint(point=point, result=result)
+            group = archives.setdefault(
+                (point.network, point.batch_size), ParetoArchive()
+            )
+            group.add(evaluated, [extract(evaluated) for extract in extractors])
+
+    active = resolve_session(session)
+    quarantined: tuple[QuarantineRecord, ...] = ()
+    workloads = [point.workload for point in points]
+    try:
+        results = active.run_many(workloads, on_result=on_result)
+    except WorkloadExecutionError as error:
+        if not allow_failures:
+            raise
+        quarantined = error.quarantined
+        dropped = {record.fingerprint for record in quarantined}
+        points = [
+            point for point in points if point.workload.fingerprint() not in dropped
+        ]
+        # Survivors were all committed before the session raised; this
+        # collection pass is pure cache hits.  No ``on_result`` — the
+        # archives already saw every survivor exactly once.
+        results = active.run_many([point.workload for point in points])
     return DesignSpaceResult(
         spec,
         [EvaluatedPoint(point=point, result=result) for point, result in zip(points, results)],
+        quarantined=quarantined,
+        streamed=archives,
     )

@@ -37,9 +37,11 @@ eviction.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 from repro import __version__
@@ -61,7 +63,16 @@ from repro.harness.experiments import (
     temporal_network,
 )
 from repro.harness.reporting import format_table
-from repro.session import EvaluationSession, ResultCache, resolve_session, use_session
+from repro.session import (
+    NAS_CHECKPOINT_NAME,
+    SWEEP_CHECKPOINT_NAME,
+    EvaluationSession,
+    ResultCache,
+    SweepCheckpoint,
+    resolve_session,
+    use_session,
+)
+from repro.session import testing as session_testing
 
 __all__ = [
     "EXPERIMENTS",
@@ -345,22 +356,88 @@ def build_sweep_report(
     cache_dir: str | None = None,
     max_cache_bytes: int | None = None,
     session: EvaluationSession | None = None,
+    resume: bool = False,
 ) -> str:
-    """Run one spec-file sweep and render its report (grid + Pareto + stats)."""
+    """Run one spec-file sweep and render its report (grid + Pareto + stats).
+
+    With a ``--cache-dir``, the sweep journals its progress to
+    ``<cache-dir>/sweep-checkpoint.jsonl`` (planned / completed / failed /
+    quarantined events, flushed per event).  ``resume=True`` keeps the
+    existing journal and reports how much of the planned grid was already
+    complete — every completed fingerprint is double-checked against the
+    artifact cache before being trusted, so a resumed leg re-executes
+    nothing that survived the crash and everything that did not.  Without
+    ``resume`` the journal is truncated so the sweep's accounting starts
+    fresh (the artifact cache itself is untouched — warm artifacts still
+    hit).  Workloads that fail execution are retried once and then
+    quarantined: the sweep completes without them and the footer names each
+    one with its error.
+
+    The ``REPRO_SWEEP_KILL_AFTER`` environment variable (an integer N)
+    SIGKILLs the process after N durable commits — the CI ``fault-smoke``
+    job uses it to prove a killed sweep resumes with zero redundant work.
+    """
     # Imported here so `python -m repro.harness --list` stays import-light.
     from repro.dse import SweepSpec, format_sweep_report, run_sweep
+    from repro.session.engine import audit_workload_cache
 
     spec = SweepSpec.from_file(spec_path)
     owns_session = session is None
+    checkpoint: SweepCheckpoint | None = None
     if session is None:
+        if cache_dir is not None:
+            checkpoint = SweepCheckpoint(Path(cache_dir) / SWEEP_CHECKPOINT_NAME)
+            if not resume:
+                checkpoint.reset()
+        elif resume:
+            raise ValueError(
+                "--resume requires --cache-dir: the checkpoint journal lives "
+                "next to the artifact cache"
+            )
         session = EvaluationSession(
-            jobs=jobs, cache_dir=cache_dir, max_cache_bytes=max_cache_bytes
+            jobs=jobs,
+            cache_dir=cache_dir,
+            max_cache_bytes=max_cache_bytes,
+            checkpoint=checkpoint,
         )
+    resumed_line: str | None = None
+    if resume and checkpoint is not None:
+        # Progress accounting for the footer: a point counts as already
+        # complete only when the journal says so *and* the artifact cache
+        # can actually serve it (the journal is advisory; artifacts are the
+        # source of truth).
+        unique: dict[str, object] = {}
+        for point in spec.expand():
+            unique.setdefault(point.workload.fingerprint(), point.workload)
+        already = sum(
+            1
+            for key, workload in unique.items()
+            if key in checkpoint.completed
+            and audit_workload_cache(workload, session.cache).state == "cached"
+        )
+        resumed_line = (
+            f"resumed: {already}/{len(unique)} points, "
+            f"quarantined: {len(checkpoint.quarantined)}"
+        )
+    kill_after = os.environ.get("REPRO_SWEEP_KILL_AFTER")
+    if kill_after:
+        session_testing.install_kill_after_commits(int(kill_after))
     try:
-        result = run_sweep(spec, session)
+        result = run_sweep(spec, session, allow_failures=True)
     finally:
         if owns_session:
             session.close()
+    footer = _session_footer(session)
+    if resumed_line is not None:
+        footer.append(resumed_line)
+    if result.quarantined:
+        footer.append(
+            f"quarantined workloads: {len(result.quarantined)} "
+            "(each retried once, then excluded from the grid)"
+        )
+        footer.extend(
+            f"  {record.label}: {record.error}" for record in result.quarantined
+        )
     sections = [
         "# Bit Fusion design-space sweep",
         "",
@@ -373,7 +450,7 @@ def build_sweep_report(
         "## Evaluation session statistics",
         "",
         "```",
-        *_session_footer(session),
+        *footer,
         "```",
         "",
     ]
@@ -391,10 +468,8 @@ def build_sweep_dry_run_report(spec_path: str, cache_dir: str | None = None) -> 
     cold — plus the directory's per-kind entry summary.  Run this before
     committing to an expensive sweep to see what it will actually cost.
     """
-    from pathlib import Path
-
     from repro.dse import SweepSpec
-    from repro.session.engine import audit_workload_cache
+    from repro.session.engine import CacheAudit, audit_workload_cache
 
     spec = SweepSpec.from_file(spec_path)
     points = spec.expand()
@@ -402,21 +477,23 @@ def build_sweep_dry_run_report(spec_path: str, cache_dir: str | None = None) -> 
         raise ValueError(f"cache directory {cache_dir!r} does not exist")
     cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
 
-    audited: dict[str, tuple[str, int, int]] = {}
+    audited: dict[str, CacheAudit] = {}
     grid_states: list[str] = []
     for point in points:
         key = point.workload.fingerprint()
         if key not in audited:
             audited[key] = audit_workload_cache(point.workload, cache)
-        grid_states.append(audited[key][0])
+        grid_states.append(audited[key].state)
 
     unique = list(audited.values())
     counts = {
-        state: sum(1 for s, _, _ in unique if s == state)
+        state: sum(1 for audit in unique if audit.state == state)
         for state in ("cached", "partial", "cold")
     }
-    missing_blocks = sum(missing for _, missing, _ in unique)
-    partial_blocks = sum(total for state, _, total in unique if state == "partial")
+    missing_blocks = sum(audit.missing_blocks for audit in unique)
+    partial_blocks = sum(
+        audit.total_blocks for audit in unique if audit.state == "partial"
+    )
     lines = [
         "# Bit Fusion design-space sweep — dry run",
         "",
@@ -435,6 +512,16 @@ def build_sweep_dry_run_report(spec_path: str, cache_dir: str | None = None) -> 
         ),
         f"cold: {counts['cold']} workloads (no usable artifacts)",
     ]
+    # The tiling memo serves cold workloads before their programs exist, so
+    # "cold" alone overstates the cost of a grid whose GEMM shapes already
+    # planned: say how many of the searches a cold start would actually run.
+    tilings_total = sum(audit.tilings_total for audit in unique)
+    if tilings_total:
+        tilings_cached = sum(audit.tilings_cached for audit in unique)
+        lines.append(
+            f"tiling memo: {tilings_cached}/{tilings_total} searches of the "
+            "cold workloads already memoized"
+        )
     cached_points = sum(1 for state in grid_states if state == "cached")
     fraction = cached_points / len(points) if points else 0.0
     lines.append(
@@ -491,9 +578,22 @@ def sweep_main(argv: list[str] | None = None) -> int:
         "already holds (fully/partially cached vs cold) without running "
         "any compilation or simulation",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="keep the --cache-dir's sweep-checkpoint.jsonl journal and "
+        "resume an interrupted sweep: completed points (journal entry "
+        "cross-checked against cached artifacts) are served without fresh "
+        "work, and the footer reports 'resumed: X/Y points, quarantined: Z' "
+        "(requires --cache-dir)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and args.cache_dir is None:
+        parser.error("--resume requires --cache-dir")
+    if args.resume and args.dry_run:
+        parser.error("--resume and --dry-run are mutually exclusive")
     max_cache_bytes = None
     if args.cache_max_mb is not None:
         if args.cache_dir is None:
@@ -510,6 +610,7 @@ def sweep_main(argv: list[str] | None = None) -> int:
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
                 max_cache_bytes=max_cache_bytes,
+                resume=args.resume,
             )
     except (OSError, RuntimeError, ValueError) as error:
         parser.error(str(error))
@@ -537,14 +638,26 @@ def build_nas_report(
     so a second search — or a search after a report run against the same
     directory — starts warm.  The footer reports the estimator's hit rate,
     layers simulated vs composed, and candidates per second.
+
+    With a ``--cache-dir``, candidate progress journals to
+    ``<cache-dir>/nas-checkpoint.jsonl`` (planned / completed fingerprints,
+    same format as the sweep journal), so an interrupted search leaves a
+    durable record of exactly which candidates were priced.
     """
     # Imported here so `python -m repro.harness --list` stays import-light.
     from repro.nas import Estimator, SearchSpec, format_search_report, run_search
 
     spec = SearchSpec.from_file(spec_path)
     cache = ResultCache(cache_dir, max_bytes=max_cache_bytes)
+    checkpoint: SweepCheckpoint | None = None
+    if cache_dir is not None:
+        checkpoint = SweepCheckpoint(Path(cache_dir) / NAS_CHECKPOINT_NAME)
     estimator = Estimator(cache=cache, batch_size=spec.batch_size)
-    result = run_search(spec, estimator=estimator)
+    try:
+        result = run_search(spec, estimator=estimator, checkpoint=checkpoint)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     stats = estimator.stats
     footer = [
         stats.summary(),

@@ -189,12 +189,72 @@ class FusionCompiler:
             output_bits=layer.output_bits,
         )
 
+    def gemm_orders(self) -> tuple[LoopOrder, ...]:
+        """The loop orders a compute-layer tiling search may consider.
+
+        Part of the tiling memo key — an ablation run (loop ordering
+        disabled) never shares plans with an optimized one.
+        """
+        if self.enable_loop_ordering:
+            return tuple(LoopOrder)
+        return (LoopOrder.OUTPUT_STATIONARY,)
+
+    def auxiliary_gemm_workload(
+        self, layer: Layer, batch_size: int | None = None
+    ) -> GemmWorkload:
+        """The degenerate GEMM a pooling/activation layer lowers to.
+
+        The data still flows as a (1, 1, elements x batch) workload so the
+        simulator can charge its DRAM traffic; shared between
+        :meth:`compile_auxiliary_layer` and :meth:`tiling_requests` so the
+        search an audit predicts is exactly the search compilation runs.
+        """
+        batch = self.config.batch_size if batch_size is None else batch_size
+        if batch <= 0:
+            raise ValueError(f"batch size must be positive, got {batch}")
+        return GemmWorkload(
+            m=1,
+            n=1,
+            r=max(1, layer.input_elements() * batch),
+            input_bits=layer.input_bits,
+            weight_bits=layer.weight_bits,
+            output_bits=layer.output_bits,
+        )
+
+    def tiling_requests(
+        self, network: Network, batch_size: int | None = None
+    ) -> list[tuple[GemmWorkload, tuple[LoopOrder, ...]]]:
+        """The ``(gemm, orders)`` tiling searches compiling ``network`` would run.
+
+        Derivable without searching or emitting a single instruction: fusion
+        grouping plus GEMM-shape lowering only.  This is what lets a sweep
+        ``--dry-run`` report how much of a *cold* workload's compile cost the
+        persistent tiling memo already covers
+        (:func:`~repro.session.engine.audit_workload_cache`) — the keys
+        built from these pairs are exactly the keys
+        :meth:`~FusionCompiler.compile` would consult through its plan
+        resolver, in program order.
+        """
+        decision = fuse_layers(network.layers, enable=self.enable_layer_fusion)
+        requests: list[tuple[GemmWorkload, tuple[LoopOrder, ...]]] = []
+        for group in decision.groups:
+            head = group[0]
+            if head.has_gemm():
+                requests.append((self.gemm_workload(head, batch_size), self.gemm_orders()))
+            else:
+                requests.append(
+                    (
+                        self.auxiliary_gemm_workload(head, batch_size),
+                        (LoopOrder.OUTPUT_STATIONARY,),
+                    )
+                )
+        return requests
+
     def _lower_gemm(self, layer: Layer, batch_size: int | None = None) -> _GemmLowering:
         workload = self.gemm_workload(layer, batch_size)
-        orders = (
-            tuple(LoopOrder) if self.enable_loop_ordering else (LoopOrder.OUTPUT_STATIONARY,)
+        return _GemmLowering(
+            workload=workload, tiling=self._plan_tiling(workload, self.gemm_orders())
         )
-        return _GemmLowering(workload=workload, tiling=self._plan_tiling(workload, orders))
 
     # ------------------------------------------------------------------ #
     # Instruction emission
@@ -473,14 +533,7 @@ class FusionCompiler:
                 f"layer {layer.name!r} lowers to a GEMM; use compile_compute_layer"
             )
         batch = self.config.batch_size if batch_size is None else batch_size
-        workload = GemmWorkload(
-            m=1,
-            n=1,
-            r=max(1, layer.input_elements() * batch),
-            input_bits=layer.input_bits,
-            weight_bits=layer.weight_bits,
-            output_bits=layer.output_bits,
-        )
+        workload = self.auxiliary_gemm_workload(layer, batch_size)
         tiling = self._plan_tiling(workload, (LoopOrder.OUTPUT_STATIONARY,))
         tiling = tiling.with_output_store_bits(
             layer.output_elements() * batch * layer.output_bits

@@ -166,6 +166,15 @@ class Estimator:
         self.stats = EstimatorStats()
         self.cache_stats = CacheStats()
         self._resolver = make_plan_resolver(self.config, self.cache, self.cache_stats)
+        # In-flight block/layer claims: keys some plan has promised to
+        # simulate and store but has not yet composed.  Later plans defer to
+        # the claimant instead of re-simulating.  Claims are released in
+        # ``estimate_many``'s ``finally`` — on success they are redundant
+        # (the records are in the cache), and on a raising batch releasing
+        # them is essential: a leaked claim would make every later
+        # ``estimate_many`` defer to a claimant that never stored anything
+        # and die at compose time.
+        self._in_flight: set[str] = set()
 
     # ------------------------------------------------------------------ #
     # Pricing
@@ -194,20 +203,26 @@ class Estimator:
                 self.stats.networks_deduped += 1
             else:
                 unique[fingerprint] = network
-        claimed: set[str] = set()
-        plans = [
-            self._plan(network, fingerprint, claimed)
-            for fingerprint, network in unique.items()
-        ]
-        sim_started = time.perf_counter()
-        remote = simulate_planned_blocks(plans)
-        sim_seconds = time.perf_counter() - sim_started
-        self.stats.sim_seconds += sim_seconds
-        self.cache_stats.sim_seconds += sim_seconds
-        results = {
-            plan.fingerprint: self._compose(plan, remote_layers)
-            for plan, remote_layers in zip(plans, remote)
-        }
+        batch_claims: set[str] = set()
+        try:
+            plans = [
+                self._plan(network, fingerprint, batch_claims)
+                for fingerprint, network in unique.items()
+            ]
+            sim_started = time.perf_counter()
+            remote = simulate_planned_blocks(plans)
+            sim_seconds = time.perf_counter() - sim_started
+            self.stats.sim_seconds += sim_seconds
+            self.cache_stats.sim_seconds += sim_seconds
+            results = {
+                plan.fingerprint: self._compose(plan, remote_layers)
+                for plan, remote_layers in zip(plans, remote)
+            }
+        finally:
+            # Release this batch's claims whether or not it survived: a
+            # raising simulation must not leave dangling claims that later
+            # batches would defer to (and then fail composing against).
+            self._in_flight -= batch_claims
         self.cache.flush()
         self.stats.estimate_seconds += time.perf_counter() - started
         return [results[fingerprint] for fingerprint in requested]
@@ -257,12 +272,14 @@ class Estimator:
             block_key = block_cache_key(compiled.fingerprint(), self.config)
             layer_key = layer_cache_key(compiled, self.config)
             # Same in-batch claim protocol as plan_workload: identical layer
-            # content already scheduled by this batch is deferred to compose
-            # time, never simulated twice.
-            if block_key in claimed or layer_key in claimed:
+            # content already scheduled (claimed in flight) is deferred to
+            # compose time, never simulated twice.
+            if block_key in self._in_flight or layer_key in self._in_flight:
                 deferred.append(index)
                 self.stats.deduped += 1
                 continue
+            self._in_flight.add(block_key)
+            self._in_flight.add(layer_key)
             claimed.add(block_key)
             claimed.add(layer_key)
             self.cache_stats.blocks.record_miss()

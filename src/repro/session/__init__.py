@@ -75,11 +75,21 @@ from repro.session.cache import (
     StageStats,
     WorkerStats,
 )
+from repro.session.checkpoint import (
+    CheckpointRecord,
+    NAS_CHECKPOINT_NAME,
+    SWEEP_CHECKPOINT_NAME,
+    SweepCheckpoint,
+)
 from repro.session.engine import (
+    CacheAudit,
+    QuarantineRecord,
     WorkResult,
     WorkUnit,
     WorkloadExecutionError,
+    audit_workload_cache,
     block_cache_key,
+    describe_workload_error,
     build_model,
     compile_program,
     compile_workload,
@@ -110,12 +120,18 @@ from repro.session.workload import (
 )
 
 __all__ = [
+    "CacheAudit",
     "CacheStats",
+    "CheckpointRecord",
     "EvaluationSession",
+    "NAS_CHECKPOINT_NAME",
     "PLATFORMS",
     "ProgramStats",
+    "QuarantineRecord",
     "ResultCache",
+    "SWEEP_CHECKPOINT_NAME",
     "StageStats",
+    "SweepCheckpoint",
     "SweepPoint",
     "SweepResult",
     "WorkResult",
@@ -123,10 +139,12 @@ __all__ = [
     "WorkerStats",
     "Workload",
     "WorkloadExecutionError",
+    "audit_workload_cache",
     "block_cache_key",
     "build_model",
     "compile_program",
     "compile_workload",
+    "describe_workload_error",
     "estimated_cost",
     "execute_work_unit",
     "execute_workload",

@@ -55,7 +55,7 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass, replace
 from functools import lru_cache
-from typing import Any, Callable, Protocol, Sequence
+from typing import Any, Callable, NamedTuple, Protocol, Sequence
 
 from repro.baselines.base import AcceleratorModel
 from repro.baselines.eyeriss import EyerissModel
@@ -69,6 +69,7 @@ from repro.isa.compiler import FusionCompiler, PlanResolver
 from repro.isa.instructions import LoopOrder
 from repro.isa.program import CompiledBlock, Program
 from repro.isa.tiling import GemmWorkload, TilingPlan
+from repro.session import testing
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
 from repro.session.workload import Workload, load_network, network_digest
 from repro.sim.batched import simulate_blocks_grid
@@ -76,7 +77,9 @@ from repro.sim.executor import BitFusionSimulator
 from repro.sim.results import LayerResult, NetworkResult, compose_network_result
 
 __all__ = [
+    "CacheAudit",
     "PlanLike",
+    "QuarantineRecord",
     "WorkPlan",
     "WorkResult",
     "WorkUnit",
@@ -87,6 +90,7 @@ __all__ = [
     "compile_program",
     "compile_workload",
     "compose_plan",
+    "describe_workload_error",
     "execute_work_unit",
     "execute_workload",
     "execute_workload_cached",
@@ -336,8 +340,18 @@ def simulator_for(config: BitFusionConfig) -> BitFusionSimulator:
     so sharing instances is safe.  The module-global class is resolved at
     call time (and is part of the memo key), so tests that monkeypatch
     ``engine.BitFusionSimulator`` get their own entries.
+
+    Fault-injection seam: when a test installed a simulator wrapper
+    (:mod:`repro.session.testing`), the memoized instance is passed through
+    it — the wrapper's proxy (not the instance) is what callers receive, so
+    chaos tests can fail or delay individual block simulations without
+    touching the memo.
     """
-    return _build_simulator(BitFusionSimulator, config)
+    simulator = _build_simulator(BitFusionSimulator, config)
+    wrapper = testing.simulator_wrapper()
+    if wrapper is not None:
+        return wrapper(config, simulator)
+    return simulator
 
 
 @lru_cache(maxsize=None)
@@ -525,35 +539,81 @@ def try_compose_from_cache(
     return _compose(workload, program, [layer for layer, _, _ in found]), from_disk
 
 
-def audit_workload_cache(workload: Workload, cache: ResultCache) -> tuple[str, int, int]:
+class CacheAudit(NamedTuple):
+    """One workload's read-only cache diff (:func:`audit_workload_cache`)."""
+
+    state: str
+    missing_blocks: int
+    total_blocks: int
+    #: Of the tiling searches compiling this workload would request, how
+    #: many the tiling memo already holds.  Only non-zero for ``"cold"``
+    #: Bit Fusion workloads — a cached program never searches again.
+    tilings_cached: int
+    tilings_total: int
+
+
+def _audit_tilings(workload: Workload, cache: ResultCache) -> tuple[int, int]:
+    """How many of a cold workload's tiling searches the memo already holds.
+
+    The searches a compilation *would* run are derivable without searching
+    (:meth:`~repro.isa.compiler.FusionCompiler.tiling_requests` — fusion
+    grouping plus GEMM-shape lowering, no instruction emission), so a cold
+    workload whose GEMM shapes another sweep point already planned shows up
+    in a ``--dry-run`` as mostly-memoized compile work rather than as fully
+    cold.
+    """
+    compiler = FusionCompiler(
+        workload.config,
+        enable_loop_ordering=workload.enable_loop_ordering,
+        enable_layer_fusion=workload.enable_layer_fusion,
+    )
+    requests = compiler.tiling_requests(
+        load_network(workload), batch_size=workload.batch_size
+    )
+    cached = sum(
+        1
+        for gemm, orders in requests
+        if tiling_cache_key(gemm, orders, workload.config) in cache
+    )
+    return cached, len(requests)
+
+
+def audit_workload_cache(workload: Workload, cache: ResultCache) -> CacheAudit:
     """How much of one workload's work the cache already holds (read-only).
 
-    Returns ``(state, missing_blocks, total_blocks)`` where ``state`` is
+    Returns a :class:`CacheAudit` whose ``state`` is
 
     * ``"cached"`` — the workload would execute without any fresh work: a
       whole result is stored (baselines), or every artifact needed to
       compose one is (Bit Fusion: program plus all block/layer results);
     * ``"partial"`` — the compiled program is cached but
       ``missing_blocks`` of its ``total_blocks`` blocks would simulate;
-    * ``"cold"`` — nothing usable is cached (for Bit Fusion,
-      ``total_blocks`` is 0 because without the program the block count is
-      unknown without compiling — which an audit must never do).
+    * ``"cold"`` — no program artifact is cached (``total_blocks`` is 0
+      because without the program the block count is unknown without
+      compiling — which an audit must never do).  A cold Bit Fusion
+      workload still reports ``tilings_cached`` of ``tilings_total``: the
+      tiling searches its compilation would request (derivable from the
+      network structure alone, no search run) that the persistent tiling
+      memo would serve — so a grid sharing GEMM shapes with earlier runs
+      is never misreported as entirely unstarted.
 
     No statistics are recorded and nothing executes.  Only the program
     payload is read (its blocks are needed to derive the block/layer
-    keys); block and layer results are probed for *existence* without
-    deserializing or memory-promoting them, so auditing a planned grid
-    against a large cache directory stays cheap — ``python -m
+    keys); block, layer and tiling records are probed for *existence*
+    without deserializing or memory-promoting them, so auditing a planned
+    grid against a large cache directory stays cheap — ``python -m
     repro.harness sweep --dry-run`` uses this to diff a grid against a
-    ``--cache-dir`` before committing to the run.
+    ``--cache-dir`` before committing to the run, and ``sweep --resume``
+    uses it to double-check journaled completions against the artifacts.
     """
     if workload.fingerprint() in cache:
-        return "cached", 0, 0
+        return CacheAudit("cached", 0, 0, 0, 0)
     if workload.platform != "bitfusion":
-        return "cold", 0, 0
+        return CacheAudit("cold", 0, 0, 0, 0)
     program = cache.get(program_cache_key(workload))
     if program is None:
-        return "cold", 0, 0
+        cached, total = _audit_tilings(workload, cache)
+        return CacheAudit("cold", 0, 0, cached, total)
     missing = 0
     for compiled in program:
         if (
@@ -562,7 +622,7 @@ def audit_workload_cache(workload: Workload, cache: ResultCache) -> tuple[str, i
         ):
             missing += 1
     state = "cached" if missing == 0 else "partial"
-    return state, missing, len(program)
+    return CacheAudit(state, missing, len(program), 0, 0)
 
 
 def execute_workload_cached(
@@ -588,22 +648,51 @@ def execute_workload_cached(
 # ---------------------------------------------------------------------- #
 # The cache-aware parallel worker protocol
 # ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One workload set aside after failing its execution *and* its retry."""
+
+    fingerprint: str
+    label: str
+    error: str
+
+
 class WorkloadExecutionError(RuntimeError):
-    """One or more workloads of a parallel batch failed.
+    """One or more workloads of a batch failed their execution and retry.
 
     Raised by :meth:`EvaluationSession.run_many
     <repro.session.session.EvaluationSession.run_many>` *after* every
-    surviving result and artifact has been stored, so a single bad workload
-    costs the batch nothing but its own point.  :attr:`failures` carries one
-    message per failed workload, each naming the workload it came from.
+    surviving result and artifact has been stored — a failed workload is
+    retried exactly once and, if the retry fails too, quarantined; the rest
+    of the batch always completes, so a single bad workload costs the batch
+    nothing but its own point.  :attr:`failures` carries one message per
+    quarantined workload, each naming the workload it came from;
+    :attr:`quarantined` carries the same failures as structured
+    :class:`QuarantineRecord`\\ s (fingerprint, label, final error).
     """
 
-    def __init__(self, failures: list[str]) -> None:
+    def __init__(
+        self,
+        failures: list[str],
+        quarantined: tuple[QuarantineRecord, ...] = (),
+    ) -> None:
         self.failures = tuple(failures)
+        self.quarantined = quarantined
         details = "; ".join(failures)
         super().__init__(
             f"{len(failures)} workload(s) failed during parallel execution: {details}"
         )
+
+
+def describe_workload_error(workload: Workload, error: BaseException) -> str:
+    """The labelled one-line error message a failed workload reports.
+
+    One format everywhere — worker replies, serial-path failures, retry
+    failures and quarantine records all describe a failure the same way, so
+    footer greps and :class:`WorkloadExecutionError` assertions never depend
+    on which execution path hit the fault.
+    """
+    return f"workload {workload.label()}: {type(error).__name__}: {error}"
 
 
 @dataclass(frozen=True)
@@ -654,7 +743,21 @@ def execute_work_unit(unit: WorkUnit) -> WorkResult:
 
     Failures are converted into :attr:`WorkResult.error` strings instead of
     raised, so one bad workload cannot poison the pool batch.
+
+    Fault-injection seam: a work-unit wrapper installed through
+    :mod:`repro.session.testing` intercepts the call — it can return a
+    fabricated failure reply, delay, or raise to model a crashed worker.
+    The hook lives in the installing process only; real pool workers never
+    see it, so tests that exercise it run inline (``jobs=1`` or an in-process
+    pool).
     """
+    wrapper = testing.work_unit_wrapper()
+    if wrapper is not None:
+        return wrapper(unit, _execute_work_unit)
+    return _execute_work_unit(unit)
+
+
+def _execute_work_unit(unit: WorkUnit) -> WorkResult:
     try:
         if unit.program_payload is None:
             started = time.perf_counter()
@@ -675,9 +778,7 @@ def execute_work_unit(unit: WorkUnit) -> WorkResult:
             sim_seconds=sim_seconds,
         )
     except Exception as error:  # noqa: BLE001 — must not escape into pool.map
-        return WorkResult(
-            error=f"workload {unit.workload.label()}: {type(error).__name__}: {error}"
-        )
+        return WorkResult(error=describe_workload_error(unit.workload, error))
 
 
 class PlanLike(Protocol):

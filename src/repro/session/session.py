@@ -25,13 +25,17 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from itertools import product
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.core.config import BitFusionConfig
+from repro.session import testing
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
+from repro.session.checkpoint import SweepCheckpoint
 from repro.session.engine import (
+    QuarantineRecord,
     WorkloadExecutionError,
     compose_plan,
+    describe_workload_error,
     execute_work_unit,
     execute_workload,
     obtain_program,
@@ -52,6 +56,28 @@ __all__ = [
     "resolve_session",
     "use_session",
 ]
+
+#: Callback fired once per unique workload the moment its result is known
+#: (cache hit at lookup, or commit after fresh execution) — the streaming
+#: seam incremental Pareto reduction hangs off.
+ResultCallback = Callable[[Workload, NetworkResult], None]
+
+
+@dataclass(frozen=True)
+class _Failure:
+    """One failed execution attempt, pending its retry."""
+
+    key: str
+    workload: Workload
+    message: str
+
+
+class _RetryError(RuntimeError):
+    """A retry attempt failed; carries the already-formatted failure message."""
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
@@ -132,6 +158,19 @@ class EvaluationSession:
     max_cache_bytes:
         Optional size budget for the on-disk store (least-recently-used
         entries are evicted past it); only meaningful with ``cache_dir``.
+    checkpoint:
+        Optional :class:`~repro.session.checkpoint.SweepCheckpoint` journal.
+        When given, every scheduled workload is journaled as planned before
+        execution and as completed the moment its result is stored — and
+        the serial path commits **per workload** (plan → simulate → compose
+        → store → journal, in schedule order) instead of batching the whole
+        schedule's simulations, so a run killed at an arbitrary point loses
+        at most its one in-flight workload.  The trade is deliberate:
+        checkpointed runs give up cross-point grid merging
+        (:func:`~repro.session.engine.simulate_planned_blocks` over the
+        whole batch) in exchange for kill-anywhere resumability; results
+        are bit-identical either way (the batched executor is bit-exact
+        against the scalar path by contract).
     """
 
     def __init__(
@@ -140,6 +179,7 @@ class EvaluationSession:
         cache_dir: str | Path | None = None,
         cache: ResultCache | None = None,
         max_cache_bytes: int | None = None,
+        checkpoint: SweepCheckpoint | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -150,6 +190,7 @@ class EvaluationSession:
         self.jobs = jobs
         self.cache = cache if cache is not None else ResultCache(cache_dir, max_cache_bytes)
         self.stats = CacheStats()
+        self.checkpoint = checkpoint
         self._pool: ProcessPoolExecutor | None = None
 
     def close(self) -> None:
@@ -161,6 +202,8 @@ class EvaluationSession:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self.checkpoint is not None:
+            self.checkpoint.close()
         self.cache.flush()
 
     def __enter__(self) -> "EvaluationSession":
@@ -176,7 +219,11 @@ class EvaluationSession:
         """Run one workload, serving it from the cache when possible."""
         return self.run_many([workload])[0]
 
-    def run_many(self, workloads: Iterable[Workload]) -> list[NetworkResult]:
+    def run_many(
+        self,
+        workloads: Iterable[Workload],
+        on_result: ResultCallback | None = None,
+    ) -> list[NetworkResult]:
         """Run a batch of workloads, in input order.
 
         The batch is deduplicated by fingerprint and resolved against the
@@ -195,10 +242,25 @@ class EvaluationSession:
         With ``jobs > 1`` the parallel path is warm-artifact aware: the main
         process compiles centrally through the program cache and ships each
         worker only the blocks whose results are genuinely missing (see
-        :mod:`repro.session.engine`).  A worker failure does not abort the
-        batch — surviving results are stored first, then a
-        :class:`~repro.session.engine.WorkloadExecutionError` naming every
-        failed workload is raised.
+        :mod:`repro.session.engine`).
+
+        **Fault tolerance** (serial and parallel alike): a workload whose
+        execution fails — a worker error reply, a crashed worker process, a
+        raising simulation or composition — is retried exactly once, inline
+        in the coordinating process (immune to pool state).  If the retry
+        fails too, the workload is quarantined: journaled (when a checkpoint
+        is attached), counted in ``stats.retries``, and reported through a
+        :class:`~repro.session.engine.WorkloadExecutionError` carrying the
+        quarantine list — raised only *after* every surviving result and
+        artifact has been stored, so one bad workload costs the batch
+        nothing but its own point.
+
+        ``on_result`` (when given) fires once per unique workload the moment
+        its result is known — at cache-lookup time for warm workloads, at
+        commit time for fresh ones — so callers can stream incremental
+        reductions (the sweep runner's Pareto archive) while the batch runs.
+        With a session :attr:`checkpoint`, every scheduled workload is
+        journaled as planned up front and as completed at commit.
         """
         ordered = list(workloads)
         keys = [workload.fingerprint() for workload in ordered]
@@ -219,6 +281,7 @@ class EvaluationSession:
                 if source == "disk":
                     self.stats.disk_hits += 1
                 resolved[key] = value
+                self._note_resolved(key, workload, value, on_result)
                 continue
             composed, from_disk = try_compose_from_cache(workload, self.cache, self.stats)
             if composed is not None:
@@ -230,6 +293,7 @@ class EvaluationSession:
                 # the artifact walk.
                 self.cache.put(key, composed, workload.describe(), persist=False)
                 resolved[key] = composed
+                self._note_resolved(key, workload, composed, on_result)
                 continue
             self.stats.misses += 1
             pending[key] = workload
@@ -244,57 +308,117 @@ class EvaluationSession:
                 pending.items(),
                 key=lambda item: (-estimated_cost(item[1]), item[0]),
             )
+            if self.checkpoint is not None:
+                for key, workload in items:
+                    self.checkpoint.record_planned(key, workload.label())
             try:
                 if self.jobs > 1 and len(items) > 1:
-                    resolved.update(self._execute_parallel(items))
+                    resolved.update(self._execute_parallel(items, on_result))
                 else:
-                    resolved.update(self._execute_serial(items))
+                    resolved.update(self._execute_serial(items, on_result))
             finally:
                 # One manifest write per executed batch, not one per
                 # artifact — and surviving artifacts are flushed even when a
-                # parallel batch raises for a failed workload.
+                # batch raises for a quarantined workload.
                 self.cache.flush()
         return [resolved[key] for key in keys]
 
     def _execute_serial(
-        self, items: list[tuple[str, Workload]]
+        self,
+        items: list[tuple[str, Workload]],
+        on_result: ResultCallback | None = None,
     ) -> dict[str, NetworkResult]:
         """Run scheduled workloads inline, batching their simulations.
 
-        Every Bit Fusion workload of the batch is planned against the cache
-        first (central compile, per-block resolution through both cache
-        levels, in-batch duplicates deferred to their claimant exactly like
-        the parallel protocol); the genuinely missing blocks of *all* plans
-        then simulate through as few vectorized batched calls as possible
+        Without a checkpoint, every Bit Fusion workload of the batch is
+        planned against the cache first (central compile, per-block
+        resolution through both cache levels, in-batch duplicates deferred
+        to their claimant exactly like the parallel protocol); the genuinely
+        missing blocks of *all* plans then simulate through as few
+        vectorized batched calls as possible
         (:func:`~repro.session.engine.simulate_planned_blocks` — a sweep
         varying only simulation parameters collapses into one 2-D grid
         pass) before each workload composes in schedule order.  Baseline
-        workloads (no compile stage) execute whole, as always.
+        workloads (no compile stage) execute whole, as always.  If the
+        all-plans batched call raises, the batch degrades to per-plan
+        simulation so one faulting block fails only its own workload.
+
+        With a checkpoint, workloads run strictly one at a time — plan,
+        simulate, compose, store, journal — so a kill at any point loses at
+        most the in-flight workload.  Either way a failing workload lands in
+        the retry/quarantine path instead of aborting the batch.
         """
-        claimed: set[str] = set()
-        plans = [
-            plan_workload(workload, self.cache, self.stats, claimed)
-            for _, workload in items
-        ]
-        started = time.perf_counter()
-        remote = simulate_planned_blocks(plans)
-        self.stats.sim_seconds += time.perf_counter() - started
         resolved: dict[str, NetworkResult] = {}
-        for (key, workload), plan, layers in zip(items, plans, remote):
-            if plan.program is None:
+        failures: list[_Failure] = []
+        if self.checkpoint is None:
+            claimed: set[str] = set()
+            plans = [
+                plan_workload(workload, self.cache, self.stats, claimed)
+                for _, workload in items
+            ]
+            try:
                 started = time.perf_counter()
-                result = execute_workload(workload)
+                remote: list[dict[int, object]] | None = simulate_planned_blocks(plans)
                 self.stats.sim_seconds += time.perf_counter() - started
-            else:
-                started = time.perf_counter()
-                result = compose_plan(plan, layers, self.cache, self.stats)
-                self.stats.compose_seconds += time.perf_counter() - started
-            self._store_result(key, workload, result)
-            resolved[key] = result
+            except Exception:
+                # One faulting block aborted the whole batched call; degrade
+                # to per-plan simulation so only the faulty workload fails.
+                remote = None
+            for index, ((key, workload), plan) in enumerate(zip(items, plans)):
+                try:
+                    if remote is not None:
+                        layers = remote[index]
+                    else:
+                        started = time.perf_counter()
+                        layers = simulate_planned_blocks([plan])[0]
+                        self.stats.sim_seconds += time.perf_counter() - started
+                    result = self._finish_plan(workload, plan, layers)
+                except Exception as error:
+                    failures.append(
+                        _Failure(key, workload, describe_workload_error(workload, error))
+                    )
+                    continue
+                self._commit(key, workload, result, on_result)
+                resolved[key] = result
+        else:
+            # Checkpointed: one durable commit per workload, in schedule
+            # order.  Trades the cross-workload grid merge for the property
+            # that a kill between commits never loses more than one point.
+            claimed = set()
+            for key, workload in items:
+                try:
+                    plan = plan_workload(workload, self.cache, self.stats, claimed)
+                    started = time.perf_counter()
+                    layers = simulate_planned_blocks([plan])[0]
+                    self.stats.sim_seconds += time.perf_counter() - started
+                    result = self._finish_plan(workload, plan, layers)
+                except Exception as error:
+                    failures.append(
+                        _Failure(key, workload, describe_workload_error(workload, error))
+                    )
+                    continue
+                self._commit(key, workload, result, on_result)
+                resolved[key] = result
+        if failures:
+            self._finish_failures(failures, resolved, on_result)
         return resolved
 
+    def _finish_plan(self, workload: Workload, plan, layers) -> NetworkResult:
+        """Compose a planned Bit Fusion workload (or run a baseline whole)."""
+        if plan.program is None:
+            started = time.perf_counter()
+            result = execute_workload(workload)
+            self.stats.sim_seconds += time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            result = compose_plan(plan, layers, self.cache, self.stats)
+            self.stats.compose_seconds += time.perf_counter() - started
+        return result
+
     def _execute_parallel(
-        self, items: list[tuple[str, Workload]]
+        self,
+        items: list[tuple[str, Workload]],
+        on_result: ResultCallback | None = None,
     ) -> dict[str, NetworkResult]:
         """Run scheduled workloads over the pool, warm artifacts resolved first.
 
@@ -307,6 +431,11 @@ class EvaluationSession:
         Results compose and store in schedule order, so blocks deferred to
         an earlier in-batch claimant resolve from the cache exactly as they
         would serially.
+
+        A worker failure — an error reply *or* a crashed worker process
+        (``BrokenProcessPool`` at ``Future.result()``) — fails only its own
+        workload and routes it into the retry/quarantine path; a broken
+        pool is discarded so the next batch starts fresh workers.
         """
         # The pool is created once per session and reused across batches
         # so workers pay the interpreter/import start-up cost only once.
@@ -325,29 +454,171 @@ class EvaluationSession:
                 futures.append(self._pool.submit(execute_work_unit, unit))
         replies = iter(futures)
         resolved: dict[str, NetworkResult] = {}
-        failures: list[str] = []
+        failures: list[_Failure] = []
         for (key, workload), plan in zip(items, plans):
-            reply = next(replies).result() if plan.needs_worker else None
+            reply = None
+            if plan.needs_worker:
+                try:
+                    reply = next(replies).result()
+                except Exception as error:
+                    # The worker process died (or the pool broke): the reply
+                    # never arrived.  Fail this workload into the retry path
+                    # and discard the pool — once broken it poisons every
+                    # remaining future, and the next batch deserves fresh
+                    # workers.
+                    failures.append(
+                        _Failure(key, workload, describe_workload_error(workload, error))
+                    )
+                    self._discard_pool()
+                    continue
             if reply is not None and reply.error is not None:
-                failures.append(reply.error)
+                failures.append(_Failure(key, workload, reply.error))
                 continue
             if reply is not None:
                 # Fold worker-side wall time into the session's per-stage
                 # timers so parallel footers measure the same stages.
                 self.stats.compile_seconds += reply.compile_seconds
                 self.stats.sim_seconds += reply.sim_seconds
-            if reply is not None and reply.result is not None:
-                result = reply.result
-            else:
-                remote = dict(reply.layers) if reply is not None else {}
-                started = time.perf_counter()
-                result = compose_plan(plan, remote, self.cache, self.stats)
-                self.stats.compose_seconds += time.perf_counter() - started
-            self._store_result(key, workload, result)
+            try:
+                if reply is not None and reply.result is not None:
+                    result = reply.result
+                else:
+                    remote = dict(reply.layers) if reply is not None else {}
+                    started = time.perf_counter()
+                    result = compose_plan(plan, remote, self.cache, self.stats)
+                    self.stats.compose_seconds += time.perf_counter() - started
+            except Exception as error:
+                failures.append(
+                    _Failure(key, workload, describe_workload_error(workload, error))
+                )
+                continue
+            self._commit(key, workload, result, on_result)
             resolved[key] = result
         if failures:
-            raise WorkloadExecutionError(failures)
+            self._finish_failures(failures, resolved, on_result)
         return resolved
+
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) worker pool; the next batch rebuilds it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------ #
+    # Retry-once / quarantine policy
+    # ------------------------------------------------------------------ #
+    def _finish_failures(
+        self,
+        failures: list[_Failure],
+        resolved: dict[str, NetworkResult],
+        on_result: ResultCallback | None,
+    ) -> None:
+        """Retry every failed workload once; quarantine what fails again.
+
+        Runs after the batch's surviving workloads have all been committed,
+        so a retried workload resolves every artifact a successful neighbour
+        (or in-batch claimant) already stored.  Retries execute inline in
+        the coordinating process through :func:`~repro.session.engine.
+        execute_work_unit` — a fresh execution immune to worker-pool state,
+        and still routed through the fault-injection seam so chaos tests
+        can exercise both outcomes.  If any workload fails its retry, a
+        :class:`~repro.session.engine.WorkloadExecutionError` carrying the
+        quarantine list is raised at the very end.
+        """
+        messages: list[str] = []
+        quarantined: list[QuarantineRecord] = []
+        for failure in failures:
+            if self.checkpoint is not None:
+                self.checkpoint.record_failed(
+                    failure.key, failure.workload.label(), failure.message, attempt=1
+                )
+            self.stats.retries += 1
+            try:
+                result = self._retry_workload(failure.workload)
+            except Exception as error:
+                message = (
+                    error.message
+                    if isinstance(error, _RetryError)
+                    else describe_workload_error(failure.workload, error)
+                )
+                messages.append(message)
+                quarantined.append(
+                    QuarantineRecord(
+                        fingerprint=failure.key,
+                        label=failure.workload.label(),
+                        error=message,
+                    )
+                )
+                if self.checkpoint is not None:
+                    self.checkpoint.record_quarantined(
+                        failure.key, failure.workload.label(), message
+                    )
+                continue
+            self._commit(failure.key, failure.workload, result, on_result)
+            resolved[failure.key] = result
+        if quarantined:
+            raise WorkloadExecutionError(messages, quarantined=tuple(quarantined))
+
+    def _retry_workload(self, workload: Workload) -> NetworkResult:
+        """One retry attempt: replan against the cache, execute, compose.
+
+        Planned with throwaway statistics — retry work is accounted by
+        ``stats.retries`` alone, so the per-stage counters (and the footer
+        lines CI greps) keep describing the fault-free pipeline.  The replan
+        sees everything the failed first attempt and its neighbours already
+        stored, so a transient fault usually retries into a mostly-warm
+        compose.
+        """
+        retry_stats = CacheStats()
+        plan = plan_workload(workload, self.cache, retry_stats, set())
+        remote: dict[int, object] = {}
+        if plan.needs_worker:
+            reply = execute_work_unit(plan.work_unit())
+            if reply.error is not None:
+                raise _RetryError(reply.error)
+            if reply.result is not None:
+                return reply.result
+            remote = dict(reply.layers)
+        return compose_plan(plan, remote, self.cache, retry_stats)
+
+    # ------------------------------------------------------------------ #
+    # Committing results
+    # ------------------------------------------------------------------ #
+    def _note_resolved(
+        self,
+        key: str,
+        workload: Workload,
+        result: NetworkResult,
+        on_result: ResultCallback | None,
+    ) -> None:
+        """A workload resolved straight from the cache at lookup time."""
+        if self.checkpoint is not None:
+            self.checkpoint.record_completed(key)
+        if on_result is not None:
+            on_result(workload, result)
+
+    def _commit(
+        self,
+        key: str,
+        workload: Workload,
+        result: NetworkResult,
+        on_result: ResultCallback | None,
+    ) -> None:
+        """Store a fresh result, journal it, and notify the stream.
+
+        Ordering is the crash-safety contract: the artifacts and result are
+        stored first, the checkpoint's ``completed`` event is appended and
+        flushed second, stream callbacks fire third, and the test-only
+        after-commit hook (the kill point of the fault-injection harness)
+        fires last — so anything that dies *at* the hook leaves a journal
+        that only ever under-reports completed work, never over-reports it.
+        """
+        self._store_result(key, workload, result)
+        if self.checkpoint is not None:
+            self.checkpoint.record_completed(key)
+        if on_result is not None:
+            on_result(workload, result)
+        testing.fire_after_commit(workload, result)
 
     def _store_result(self, key: str, workload: Workload, result: NetworkResult) -> None:
         """Record an execution and store its workload-level result.

@@ -1,0 +1,207 @@
+"""Deterministic fault injectors for chaos-testing the execution engine.
+
+Built on the three seams :mod:`repro.session.testing` exposes (work-unit
+wrapper, simulator wrapper, after-commit hook).  Everything here is
+deterministic — faults target explicit workload fingerprints, block names
+or commit counts, never wall-clock or randomness — so every chaos test
+replays exactly, and hypothesis can drive kill points / crash sets as
+ordinary strategy inputs.
+
+The injectors:
+
+* :class:`SimulatedKill` + :func:`kill_after_commits` — an in-process stand
+  in for ``SIGKILL``: a ``BaseException`` raised from the after-commit hook,
+  which by design escapes every ``except Exception`` in the session (the
+  session must never catch ``BaseException``), aborting the run *between*
+  durable commits exactly like a real kill, but recoverably enough for an
+  in-process test to resume with a fresh session.  Real-``SIGKILL`` coverage
+  rides on the ``REPRO_SWEEP_KILL_AFTER`` subprocess smokes.
+* :func:`crash_work_units` — makes the work units of chosen workload
+  fingerprints raise :class:`InjectedWorkerCrash` (surfacing at
+  ``Future.result()``, like a died worker process), each fingerprint at most
+  ``times`` times — ``times=1`` exercises retry-success, a large ``times``
+  exercises quarantine.
+* :func:`faulty_simulators` — wraps every resolved simulator in a
+  :class:`FaultySimulator` proxy that raises :class:`InjectedSimulatorFault`
+  for chosen block names.  The proxy advertises ``batched = False`` so the
+  grid executor routes every block through the interceptable scalar
+  ``run_block`` loop.
+* :class:`CapturingInlinePool` — an in-process pool whose ``submit`` runs
+  the callable immediately but re-raises any exception at ``.result()``
+  time, matching real executor semantics (needed so injected worker crashes
+  surface where ``BrokenProcessPool`` would).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.session import testing
+
+__all__ = [
+    "CapturingInlinePool",
+    "FaultySimulator",
+    "InjectedSimulatorFault",
+    "InjectedWorkerCrash",
+    "SimulatedKill",
+    "crash_work_units",
+    "faulty_simulators",
+    "kill_after_commits",
+]
+
+
+class SimulatedKill(BaseException):
+    """In-process crash marker; escapes ``except Exception`` everywhere."""
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Models a worker process dying before it could reply."""
+
+
+class InjectedSimulatorFault(RuntimeError):
+    """Models a block simulation raising mid-flight."""
+
+
+@contextmanager
+def kill_after_commits(count: int) -> Iterator[list[str]]:
+    """Raise :class:`SimulatedKill` out of the ``count``-th durable commit.
+
+    Yields the (growing) list of workload labels committed before the kill,
+    so tests can assert exactly what the journal should contain.  The hook
+    fires *after* the result is stored and journaled — the kill lands on the
+    boundary between commits, the point a resumable sweep must survive.
+    """
+    if count < 1:
+        raise ValueError(f"kill-after count must be >= 1, got {count}")
+    committed: list[str] = []
+
+    def hook(workload: Any, result: Any) -> None:
+        committed.append(workload.label())
+        if len(committed) >= count:
+            raise SimulatedKill(f"simulated kill after {count} commits")
+
+    with testing.on_commit(hook):
+        yield committed
+
+
+@contextmanager
+def crash_work_units(
+    fingerprints: Iterable[str], times: int = 1
+) -> Iterator[dict[str, int]]:
+    """Crash the work units of the given workload fingerprints.
+
+    Each targeted fingerprint raises :class:`InjectedWorkerCrash` on its
+    first ``times`` executions and behaves normally afterwards — so
+    ``times=1`` fails the first attempt and lets the session's single retry
+    succeed, while ``times=2`` (attempt + retry) forces quarantine.  Yields
+    the per-fingerprint crash counter for accounting assertions.
+
+    Only reaches in-process execution (inline pools, serial runs, retries):
+    hooks do not cross real process boundaries.
+    """
+    targets = set(fingerprints)
+    crashes: dict[str, int] = {}
+
+    def wrapper(unit: Any, execute: Callable[[Any], Any]) -> Any:
+        key = unit.workload.fingerprint()
+        if key in targets and crashes.get(key, 0) < times:
+            crashes[key] = crashes.get(key, 0) + 1
+            raise InjectedWorkerCrash(f"injected worker crash for {unit.workload.label()}")
+        return execute(unit)
+
+    with testing.wrap_work_units(wrapper):
+        yield crashes
+
+
+class FaultySimulator:
+    """Proxy simulator that raises for chosen block names.
+
+    Wraps a real :class:`~repro.sim.executor.BitFusionSimulator`;
+    ``batched = False`` forces the grid executor onto the scalar
+    ``run_block`` loop where each block is individually interceptable.
+    ``run_selected_blocks`` (the worker-unit entry point) goes through the
+    same per-block check.  ``budget`` bounds the total number of injected
+    faults (``None`` = unlimited — every matching block always raises).
+    """
+
+    batched = False
+
+    def __init__(
+        self,
+        inner: Any,
+        block_names: set[str],
+        counter: dict[str, int],
+        budget: int | None = None,
+    ) -> None:
+        self._inner = inner
+        self._block_names = block_names
+        self._counter = counter
+        self._budget = budget
+
+    def _check(self, block: Any) -> None:
+        if block.name not in self._block_names:
+            return
+        if self._budget is not None and sum(self._counter.values()) >= self._budget:
+            return
+        self._counter[block.name] = self._counter.get(block.name, 0) + 1
+        raise InjectedSimulatorFault(f"injected fault simulating block {block.name!r}")
+
+    def run_block(self, block: Any) -> Any:
+        self._check(block)
+        return self._inner.run_block(block)
+
+    def run_selected_blocks(self, program: Any, indices: Any) -> list[Any]:
+        return [self.run_block(program.blocks[index]) for index in indices]
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+@contextmanager
+def faulty_simulators(
+    block_names: Iterable[str], budget: int | None = None
+) -> Iterator[dict[str, int]]:
+    """Make every resolved simulator raise for the given block names.
+
+    Yields the per-block fault counter.  ``budget`` caps the total injected
+    faults across all simulators resolved under the context — ``budget=1``
+    models a single transient fault (the session's one retry succeeds).
+    """
+    names = set(block_names)
+    counter: dict[str, int] = {}
+
+    def wrapper(config: Any, simulator: Any) -> Any:
+        return FaultySimulator(simulator, names, counter, budget)
+
+    with testing.wrap_simulators(wrapper):
+        yield counter
+
+
+class CapturingInlinePool:
+    """In-process pool with real executor error semantics.
+
+    ``submit`` runs the callable immediately; an exception is captured and
+    re-raised at ``.result()``, exactly where a real ``ProcessPoolExecutor``
+    surfaces a died worker (``BrokenProcessPool``).  Accepts the
+    ``shutdown`` keywords the session uses when discarding a broken pool.
+    """
+
+    class _Future:
+        def __init__(self, value: Any = None, error: BaseException | None = None):
+            self._value = value
+            self._error = error
+
+        def result(self) -> Any:
+            if self._error is not None:
+                raise self._error
+            return self._value
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "CapturingInlinePool._Future":
+        try:
+            return self._Future(value=fn(*args))
+        except Exception as error:  # noqa: BLE001 — captured, re-raised at .result()
+            return self._Future(error=error)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        pass
