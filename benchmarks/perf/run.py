@@ -2,7 +2,7 @@
 
 ``python benchmarks/perf/run.py`` measures the scenarios the ROADMAP's
 "runs as fast as the hardware allows" goal cares about and emits one
-trajectory point as JSON (``BENCH_6.json`` by default):
+trajectory point as JSON (``BENCH_8.json`` by default):
 
 * **cold compile** — every zoo network through a fresh ``FusionCompiler``
   (vectorized tiling search, no memoization), total and per network;
@@ -24,6 +24,10 @@ trajectory point as JSON (``BENCH_6.json`` by default):
 * **parallel run_many (--jobs)** — the same batch over a two-worker pool,
   cold and partially warm (one workload's artifacts pre-seeded), so the
   cache-aware worker protocol's cost stays tracked;
+* **remote run_many (--backend remote)** — the same batch dispatched to an
+  in-thread TCP worker daemon on localhost, with the coordinator-side
+  dispatch (serialize + submit) cost reported per work unit, so the remote
+  backend's wire-protocol overhead stays tracked;
 * **sweep grid expansion** — ``SweepSpec.expand`` on a few-hundred-point
   spec;
 * **Pareto reduction** — the sort-based frontier on synthetic points;
@@ -48,6 +52,7 @@ import json
 import platform
 import random
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -69,6 +74,7 @@ from repro.isa.tiling import search_tiling, search_tiling_scalar  # noqa: E402
 from repro.session import EvaluationSession, Workload  # noqa: E402
 from repro.session.cache import CacheStats, ResultCache  # noqa: E402
 from repro.session.engine import make_plan_resolver  # noqa: E402
+from repro.session.remote import RemoteBackend, WorkerServer  # noqa: E402
 from repro.sim.batched import simulate_blocks_batched, simulate_blocks_grid  # noqa: E402
 from repro.sim.executor import BitFusionSimulator  # noqa: E402
 
@@ -267,6 +273,50 @@ def bench_run_many_jobs(repeats: int) -> dict:
     }
 
 
+def bench_run_many_remote(repeats: int) -> dict:
+    """The ``--backend remote`` scenario: run_many over a localhost worker.
+
+    One in-thread ``WorkerServer`` on an ephemeral localhost port stands in
+    for a remote host — the cheapest honest measurement of the wire
+    protocol (JSON serialization, length-prefixed framing, a real TCP
+    round-trip per unit) without network variance.  The cold wall-clock is
+    what a ``--backend remote`` user pays end to end; the per-unit dispatch
+    number isolates the coordinator-side cost of serializing and submitting
+    one work unit, which is the overhead bound the committed baseline
+    enforces.
+    """
+    workloads = [
+        Workload.bitfusion(name, batch_size=_BATCH) for name in _RUN_MANY_NETWORKS
+    ]
+    cold_s = float("inf")
+    units = 0
+    dispatch_per_unit_s = float("inf")
+    for _ in range(repeats):
+        server = WorkerServer()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            backend = RemoteBackend([server.address], timeout=60.0)
+            with EvaluationSession(backend=backend) as session:
+                start = time.perf_counter()
+                session.run_many(workloads)
+                cold_s = min(cold_s, time.perf_counter() - start)
+                workers = session.stats.workers
+                units = workers.units
+                if units:
+                    dispatch_per_unit_s = min(
+                        dispatch_per_unit_s, workers.dispatch_seconds / units
+                    )
+        finally:
+            server.close()
+            thread.join(timeout=10)
+    return {
+        "run_many_remote_cold_s": cold_s,
+        "remote_work_units": units,
+        "remote_dispatch_per_unit_s": dispatch_per_unit_s,
+    }
+
+
 def bench_sweep_expand(repeats: int) -> dict:
     spec = SweepSpec.from_dict(
         {
@@ -353,12 +403,13 @@ def run_suite(repeats: int) -> dict:
     metrics.update(bench_sim(repeats))
     metrics.update(bench_run_many(repeats))
     metrics.update(bench_run_many_jobs(repeats))
+    metrics.update(bench_run_many_remote(repeats))
     metrics.update(bench_sweep_expand(repeats))
     metrics.update(bench_pareto(repeats))
     metrics.update(bench_nas(repeats))
     return {
         "bench": "repro-perf",
-        "trajectory_point": 7,
+        "trajectory_point": 8,
         "repro_version": __version__,
         "metrics": metrics,
         "environment": {
@@ -403,8 +454,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         metavar="PATH",
-        default=str(REPO_ROOT / "BENCH_7.json"),
-        help="where to write the trajectory point (default: BENCH_7.json at the repo root)",
+        default=str(REPO_ROOT / "BENCH_8.json"),
+        help="where to write the trajectory point (default: BENCH_8.json at the repo root)",
     )
     parser.add_argument(
         "--check",
@@ -459,6 +510,12 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"run_many --jobs 2: cold {metrics['run_many_jobs2_cold_s'] * 1e3:.0f} ms, "
         f"partially warm {metrics['run_many_jobs2_partial_warm_s'] * 1e3:.0f} ms"
+    )
+    print(
+        f"run_many --backend remote (localhost worker): "
+        f"cold {metrics['run_many_remote_cold_s'] * 1e3:.0f} ms, "
+        f"{metrics['remote_work_units']} work units, "
+        f"dispatch {metrics['remote_dispatch_per_unit_s'] * 1e6:.0f} us/unit"
     )
     print(
         f"nas estimator: warm estimate {metrics['nas_warm_estimate_s'] * 1e6:.0f} us "

@@ -18,6 +18,7 @@ from typing import Any, Iterator
 from repro.dse.pareto import OBJECTIVES, ParetoArchive, pareto_front
 from repro.dse.spec import DesignPoint, SweepSpec, format_axis_value
 from repro.energy.components import accelerator_area_mm2
+from repro.session.backends import ExecutionBackend
 from repro.session.engine import QuarantineRecord, WorkloadExecutionError
 from repro.session.session import EvaluationSession, resolve_session
 from repro.session.workload import Workload
@@ -177,6 +178,7 @@ def run_sweep(
     session: EvaluationSession | None = None,
     *,
     allow_failures: bool = False,
+    backend: "ExecutionBackend | None" = None,
 ) -> DesignSpaceResult:
     """Expand and execute a sweep spec; returns the evaluated design space.
 
@@ -212,7 +214,21 @@ def run_sweep(
     reduced grid with ``quarantined`` filled in.  With the default
     ``allow_failures=False`` the error propagates after surviving artifacts
     are stored, preserving the historical contract.
+
+    ``backend`` (mutually exclusive with ``session``) runs the sweep in a
+    sweep-owned session on that
+    :class:`~repro.session.backends.ExecutionBackend` — e.g. a
+    ``RemoteBackend`` sharding work units across worker daemons — closed
+    when the sweep returns.
     """
+    if backend is not None:
+        if session is not None:
+            raise ValueError("pass either session or backend, not both")
+        owned = EvaluationSession(backend=backend)
+        try:
+            return run_sweep(spec, owned, allow_failures=allow_failures)
+        finally:
+            owned.close()
     points = spec.expand()
     extractors = [OBJECTIVES[name].extract for name in spec.objectives]
     # A unique workload may back several grid points (duplicate settings);

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import BitFusionConfig
 from repro.dnn.network import Network
@@ -58,6 +59,9 @@ from repro.session.engine import (
     store_layer_record,
 )
 from repro.sim.results import LayerResult, NetworkResult, compose_network_result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.backends import ExecutionBackend
 
 __all__ = ["Estimator", "EstimatorStats"]
 
@@ -141,6 +145,11 @@ class Estimator:
         exactness guarantee relies on.
     enable_loop_ordering, enable_layer_fusion:
         Compiler flags, part of the program cache key.
+    backend:
+        Optional :class:`~repro.session.backends.ExecutionBackend` whose
+        ``simulate_plans`` runs the batched simulation stage — a
+        ``RemoteBackend`` shards candidate blocks across worker daemons.
+        Defaults to inline batched simulation.
 
     ``stats`` (:class:`EstimatorStats`) counts candidates and layers;
     ``cache_stats`` (:class:`~repro.session.cache.CacheStats`) carries the
@@ -155,6 +164,7 @@ class Estimator:
         batch_size: int | None = None,
         enable_loop_ordering: bool = True,
         enable_layer_fusion: bool = True,
+        backend: "ExecutionBackend | None" = None,
     ) -> None:
         self.config = config if config is not None else BitFusionConfig.eyeriss_matched()
         self.batch_size = self.config.batch_size if batch_size is None else batch_size
@@ -163,6 +173,7 @@ class Estimator:
         self.cache = cache if cache is not None else ResultCache()
         self.enable_loop_ordering = enable_loop_ordering
         self.enable_layer_fusion = enable_layer_fusion
+        self.backend = backend
         self.stats = EstimatorStats()
         self.cache_stats = CacheStats()
         self._resolver = make_plan_resolver(self.config, self.cache, self.cache_stats)
@@ -210,7 +221,10 @@ class Estimator:
                 for fingerprint, network in unique.items()
             ]
             sim_started = time.perf_counter()
-            remote = simulate_planned_blocks(plans)
+            if self.backend is not None:
+                remote = self.backend.simulate_plans(plans)
+            else:
+                remote = simulate_planned_blocks(plans)
             sim_seconds = time.perf_counter() - sim_started
             self.stats.sim_seconds += sim_seconds
             self.cache_stats.sim_seconds += sim_seconds

@@ -17,6 +17,9 @@ explores on Bit Fusion:
   stays shape-consistent.
 * **depth** — duplicate a compute layer (the copy's input geometry is the
   original's output geometry, so it slots in consistently) or remove one.
+* **kernel** — resize one convolution's kernel within 3↔5↔7, patching its
+  padding by ``(new - old) // 2`` so the output spatial dims are exactly
+  preserved — nothing downstream needs re-shaping.
 
 Candidate networks are named by the *content* of their layer list
 (``base/nas-<digest>``): two mutation paths that land on the same
@@ -45,7 +48,14 @@ from repro.dnn.layers import (
 from repro.dnn.network import Network
 from repro.fingerprint import fingerprint_payload
 
-__all__ = ["MUTATION_AXES", "mutate", "mutate_bits", "mutate_depth", "mutate_width"]
+__all__ = [
+    "MUTATION_AXES",
+    "mutate",
+    "mutate_bits",
+    "mutate_depth",
+    "mutate_kernel",
+    "mutate_width",
+]
 
 #: Bit-width choices for the bits axis.  BitBricks are 2-bit, so fused
 #: execution covers 2/4/8/16; the paper's networks live in this set.
@@ -54,6 +64,11 @@ _BIT_CHOICES = (2, 4, 8, 16)
 #: Width scale factors; chosen so channel/feature counts stay integral for
 #: the power-of-two-heavy shapes the zoo uses.
 _WIDTH_FACTORS = (0.5, 0.75, 1.5, 2.0)
+
+#: Kernel sizes the kernel axis moves between.  Odd sizes only: the padding
+#: patch ``(new - old) // 2`` is exact for odd↔odd transitions, which is
+#: what keeps the output spatial dims bit-identical.
+_KERNEL_CHOICES = (3, 5, 7)
 
 
 def _base_name(name: str) -> str:
@@ -240,9 +255,42 @@ def mutate_depth(network: Network, rng: random.Random) -> Network | None:
     return _build(network, layers)
 
 
+def mutate_kernel(network: Network, rng: random.Random) -> Network | None:
+    """Resize one convolution's kernel within 3↔5↔7, preserving output dims.
+
+    The padding is patched by ``(new_kernel - kernel) // 2`` — exact for
+    odd↔odd kernel transitions — so ``out = (in + 2p - k) // s + 1`` is
+    unchanged and no downstream layer needs re-shaping.  Returns ``None``
+    when the drawn layer is not a convolution, the patched padding would go
+    negative, or the new kernel would not fit the padded input.
+    """
+    layers = list(network)
+    conv = [
+        index for index, layer in enumerate(layers) if isinstance(layer, ConvLayer)
+    ]
+    if not conv:
+        return None
+    index = rng.choice(conv)
+    layer = layers[index]
+    choices = [size for size in _KERNEL_CHOICES if size != layer.kernel]
+    if not choices:
+        return None
+    new_kernel = rng.choice(choices)
+    new_padding = layer.padding + (new_kernel - layer.kernel) // 2
+    if new_padding < 0:
+        return None
+    if new_kernel > layer.in_height + 2 * new_padding:
+        return None
+    if new_kernel > layer.in_width + 2 * new_padding:
+        return None
+    layers[index] = replace(layer, kernel=new_kernel, padding=new_padding)
+    return _build(network, layers)
+
+
 MUTATION_AXES: dict[str, Callable[[Network, random.Random], Network | None]] = {
     "bits": mutate_bits,
     "depth": mutate_depth,
+    "kernel": mutate_kernel,
     "width": mutate_width,
 }
 

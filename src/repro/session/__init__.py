@@ -68,6 +68,12 @@ declarative design-space sweeps over the same cache, and
 ``docs/architecture.md`` for the full pipeline walkthrough.
 """
 
+from repro.session.backends import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    make_backend,
+)
 from repro.session.cache import (
     CacheStats,
     ProgramStats,
@@ -124,8 +130,11 @@ __all__ = [
     "CacheStats",
     "CheckpointRecord",
     "EvaluationSession",
+    "ExecutionBackend",
+    "InlineBackend",
     "NAS_CHECKPOINT_NAME",
     "PLATFORMS",
+    "ProcessPoolBackend",
     "ProgramStats",
     "QuarantineRecord",
     "ResultCache",
@@ -153,6 +162,7 @@ __all__ = [
     "get_default_session",
     "layer_cache_key",
     "load_network",
+    "make_backend",
     "make_plan_resolver",
     "network_digest",
     "program_cache_key",

@@ -157,18 +157,43 @@ class WorkerStats:
     simulated, and ``reused_blocks`` the blocks the main process resolved
     from the artifact cache (or from another in-flight workload of the same
     batch) instead of shipping — the waste the protocol exists to avoid.
+
+    ``backend`` names the execution backend that dispatched the units
+    (``pool``, ``remote``; empty when everything ran inline), ``per_worker``
+    counts units per worker identity (pool pid or remote address), and
+    ``dispatch_seconds`` / ``wait_seconds`` accumulate the coordinator-side
+    wall time spent serializing/submitting units versus blocking on their
+    replies — the ``--profile`` table's per-backend overhead row.
     """
 
     units: int = 0
     remote_blocks: int = 0
     reused_blocks: int = 0
+    backend: str = ""
+    dispatch_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    per_worker: dict[str, int] = field(default_factory=dict)
+
+    def record_worker(self, worker_id: str) -> None:
+        """Attribute one completed work unit to a worker identity."""
+        self.per_worker[worker_id] = self.per_worker.get(worker_id, 0) + 1
 
     def summary(self) -> str:
+        label = f"parallel workers [{self.backend}]" if self.backend else "parallel workers"
         return (
-            f"parallel workers: {self.units} work units dispatched, "
+            f"{label}: {self.units} work units dispatched, "
             f"{self.remote_blocks} blocks simulated remotely, "
             f"{self.reused_blocks} blocks reused from cache"
         )
+
+    def per_worker_summary(self) -> str | None:
+        """One footer line of per-worker unit counts, or None when inline."""
+        if not self.per_worker:
+            return None
+        parts = ", ".join(
+            f"{worker}: {count}" for worker, count in sorted(self.per_worker.items())
+        )
+        return f"per-worker units: {parts}"
 
 
 @dataclass

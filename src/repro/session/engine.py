@@ -52,6 +52,7 @@ stored.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import asdict, dataclass, replace
 from functools import lru_cache
@@ -709,11 +710,22 @@ class WorkUnit:
     ``simulate_indices`` keeps the blocks' positions in the *full* program —
     the reply is keyed by them so the main process can compose.  Baseline
     workloads ship with ``program_payload=None`` and execute whole.
+
+    The NAS estimator ships *anonymous* units (``workload=None``): a
+    candidate plan has no :class:`Workload`, so the simulation
+    configuration rides along explicitly in ``config`` and
+    :attr:`sim_config` resolves whichever of the two is present.
     """
 
-    workload: Workload
+    workload: Workload | None
     program_payload: dict[str, Any] | None
     simulate_indices: tuple[int, ...] = ()
+    config: Any = None
+
+    @property
+    def sim_config(self) -> Any:
+        """The simulation configuration, from the workload or ``config``."""
+        return self.workload.config if self.workload is not None else self.config
 
 
 @dataclass(frozen=True)
@@ -728,7 +740,9 @@ class WorkResult:
 
     ``compile_seconds`` and ``sim_seconds`` carry the worker-side wall time
     of program reconstruction and block simulation so the session can fold
-    remote work into its per-stage timing statistics.
+    remote work into its per-stage timing statistics.  ``worker_id`` names
+    who did the work (a pool worker's pid, a remote worker's address) for
+    the footer's per-worker unit counts.
     """
 
     layers: tuple[tuple[int, LayerResult], ...] = ()
@@ -736,6 +750,7 @@ class WorkResult:
     error: str | None = None
     compile_seconds: float = 0.0
     sim_seconds: float = 0.0
+    worker_id: str = ""
 
 
 def execute_work_unit(unit: WorkUnit) -> WorkResult:
@@ -758,17 +773,24 @@ def execute_work_unit(unit: WorkUnit) -> WorkResult:
 
 
 def _execute_work_unit(unit: WorkUnit) -> WorkResult:
+    worker_id = f"pid-{os.getpid()}"
     try:
         if unit.program_payload is None:
+            if unit.workload is None:
+                raise ValueError("anonymous work unit carries no program payload")
             started = time.perf_counter()
             result = execute_workload(unit.workload)
-            return WorkResult(result=result, sim_seconds=time.perf_counter() - started)
+            return WorkResult(
+                result=result,
+                sim_seconds=time.perf_counter() - started,
+                worker_id=worker_id,
+            )
         # The payload is sliced to exactly the missing blocks; simulate all
         # of them and map the results back to their full-program indices.
         started = time.perf_counter()
         program = Program.from_dict(unit.program_payload)
         compile_seconds = time.perf_counter() - started
-        simulator = simulator_for(unit.workload.config)
+        simulator = simulator_for(unit.sim_config)
         started = time.perf_counter()
         layers = simulator.run_selected_blocks(program, range(len(program)))
         sim_seconds = time.perf_counter() - started
@@ -776,9 +798,14 @@ def _execute_work_unit(unit: WorkUnit) -> WorkResult:
             layers=tuple(zip(unit.simulate_indices, layers)),
             compile_seconds=compile_seconds,
             sim_seconds=sim_seconds,
+            worker_id=worker_id,
         )
     except Exception as error:  # noqa: BLE001 — must not escape into pool.map
-        return WorkResult(error=describe_workload_error(unit.workload, error))
+        if unit.workload is None:
+            message = f"candidate work unit: {type(error).__name__}: {error}"
+        else:
+            message = describe_workload_error(unit.workload, error)
+        return WorkResult(error=message, worker_id=worker_id)
 
 
 class PlanLike(Protocol):

@@ -20,7 +20,6 @@ report runner installs its own session for the duration of a report via
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from itertools import product
@@ -29,6 +28,12 @@ from typing import Callable, Iterable, Iterator
 
 from repro.core.config import BitFusionConfig
 from repro.session import testing
+from repro.session.backends import (
+    ExecutionBackend,
+    Failure,
+    InlineBackend,
+    ProcessPoolBackend,
+)
 from repro.session.cache import CacheStats, ProgramStats, ResultCache
 from repro.session.checkpoint import SweepCheckpoint
 from repro.session.engine import (
@@ -41,7 +46,6 @@ from repro.session.engine import (
     obtain_program,
     plan_workload,
     program_cache_key,
-    simulate_planned_blocks,
     try_compose_from_cache,
 )
 from repro.session.workload import Workload, estimated_cost
@@ -61,15 +65,6 @@ __all__ = [
 #: (cache hit at lookup, or commit after fresh execution) — the streaming
 #: seam incremental Pareto reduction hangs off.
 ResultCallback = Callable[[Workload, NetworkResult], None]
-
-
-@dataclass(frozen=True)
-class _Failure:
-    """One failed execution attempt, pending its retry."""
-
-    key: str
-    workload: Workload
-    message: str
 
 
 class _RetryError(RuntimeError):
@@ -148,7 +143,16 @@ class EvaluationSession:
         default) executes inline; higher values fan uncached workloads out
         over a ``ProcessPoolExecutor``.  Results are ordered by the input
         workload order either way, so parallel runs are byte-identical to
-        serial ones.
+        serial ones.  Shorthand for ``backend=ProcessPoolBackend(jobs)``.
+    backend:
+        Explicit :class:`~repro.session.backends.ExecutionBackend` owning
+        where pending work executes (inline, process pool, or remote TCP
+        workers).  Mutually exclusive with a non-default ``jobs``; the
+        session adopts the backend's job count when it has one.  The
+        session retains everything else — cache resolution, commit
+        ordering, retry-once/quarantine, the checkpoint journal — so every
+        backend shares the same fault-tolerance and byte-identity
+        contracts.
     cache_dir:
         Optional directory for the persistent JSON artifact store; ``None``
         keeps the cache in memory only.
@@ -180,28 +184,40 @@ class EvaluationSession:
         cache: ResultCache | None = None,
         max_cache_bytes: int | None = None,
         checkpoint: SweepCheckpoint | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if backend is not None and jobs != 1:
+            raise ValueError("pass either backend or jobs, not both")
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
         if cache is not None and max_cache_bytes is not None:
             raise ValueError("max_cache_bytes only applies when the session owns its cache")
-        self.jobs = jobs
+        if backend is None:
+            backend = ProcessPoolBackend(jobs) if jobs > 1 else InlineBackend()
+        self.backend = backend
+        self.jobs = getattr(backend, "jobs", jobs)
         self.cache = cache if cache is not None else ResultCache(cache_dir, max_cache_bytes)
         self.stats = CacheStats()
         self.checkpoint = checkpoint
-        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def _pool(self):
+        """The process-pool backend's executor (tests swap in stand-ins)."""
+        return getattr(self.backend, "_pool", None)
+
+    @_pool.setter
+    def _pool(self, pool) -> None:
+        self.backend._pool = pool
 
     def close(self) -> None:
-        """Shut down the worker pool and flush pending cache bookkeeping.
+        """Shut down the execution backend and flush cache bookkeeping.
 
         Idempotent; cached entries themselves are untouched (only batched
         manifest recency updates are written out).
         """
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        self.backend.close()
         if self.checkpoint is not None:
             self.checkpoint.close()
         self.cache.flush()
@@ -312,96 +328,16 @@ class EvaluationSession:
                 for key, workload in items:
                     self.checkpoint.record_planned(key, workload.label())
             try:
-                if self.jobs > 1 and len(items) > 1:
-                    resolved.update(self._execute_parallel(items, on_result))
-                else:
-                    resolved.update(self._execute_serial(items, on_result))
+                executed, failures = self.backend.execute(self, items, on_result)
+                resolved.update(executed)
+                if failures:
+                    self._finish_failures(failures, resolved, on_result)
             finally:
                 # One manifest write per executed batch, not one per
                 # artifact — and surviving artifacts are flushed even when a
                 # batch raises for a quarantined workload.
                 self.cache.flush()
         return [resolved[key] for key in keys]
-
-    def _execute_serial(
-        self,
-        items: list[tuple[str, Workload]],
-        on_result: ResultCallback | None = None,
-    ) -> dict[str, NetworkResult]:
-        """Run scheduled workloads inline, batching their simulations.
-
-        Without a checkpoint, every Bit Fusion workload of the batch is
-        planned against the cache first (central compile, per-block
-        resolution through both cache levels, in-batch duplicates deferred
-        to their claimant exactly like the parallel protocol); the genuinely
-        missing blocks of *all* plans then simulate through as few
-        vectorized batched calls as possible
-        (:func:`~repro.session.engine.simulate_planned_blocks` — a sweep
-        varying only simulation parameters collapses into one 2-D grid
-        pass) before each workload composes in schedule order.  Baseline
-        workloads (no compile stage) execute whole, as always.  If the
-        all-plans batched call raises, the batch degrades to per-plan
-        simulation so one faulting block fails only its own workload.
-
-        With a checkpoint, workloads run strictly one at a time — plan,
-        simulate, compose, store, journal — so a kill at any point loses at
-        most the in-flight workload.  Either way a failing workload lands in
-        the retry/quarantine path instead of aborting the batch.
-        """
-        resolved: dict[str, NetworkResult] = {}
-        failures: list[_Failure] = []
-        if self.checkpoint is None:
-            claimed: set[str] = set()
-            plans = [
-                plan_workload(workload, self.cache, self.stats, claimed)
-                for _, workload in items
-            ]
-            try:
-                started = time.perf_counter()
-                remote: list[dict[int, object]] | None = simulate_planned_blocks(plans)
-                self.stats.sim_seconds += time.perf_counter() - started
-            except Exception:
-                # One faulting block aborted the whole batched call; degrade
-                # to per-plan simulation so only the faulty workload fails.
-                remote = None
-            for index, ((key, workload), plan) in enumerate(zip(items, plans)):
-                try:
-                    if remote is not None:
-                        layers = remote[index]
-                    else:
-                        started = time.perf_counter()
-                        layers = simulate_planned_blocks([plan])[0]
-                        self.stats.sim_seconds += time.perf_counter() - started
-                    result = self._finish_plan(workload, plan, layers)
-                except Exception as error:
-                    failures.append(
-                        _Failure(key, workload, describe_workload_error(workload, error))
-                    )
-                    continue
-                self._commit(key, workload, result, on_result)
-                resolved[key] = result
-        else:
-            # Checkpointed: one durable commit per workload, in schedule
-            # order.  Trades the cross-workload grid merge for the property
-            # that a kill between commits never loses more than one point.
-            claimed = set()
-            for key, workload in items:
-                try:
-                    plan = plan_workload(workload, self.cache, self.stats, claimed)
-                    started = time.perf_counter()
-                    layers = simulate_planned_blocks([plan])[0]
-                    self.stats.sim_seconds += time.perf_counter() - started
-                    result = self._finish_plan(workload, plan, layers)
-                except Exception as error:
-                    failures.append(
-                        _Failure(key, workload, describe_workload_error(workload, error))
-                    )
-                    continue
-                self._commit(key, workload, result, on_result)
-                resolved[key] = result
-        if failures:
-            self._finish_failures(failures, resolved, on_result)
-        return resolved
 
     def _finish_plan(self, workload: Workload, plan, layers) -> NetworkResult:
         """Compose a planned Bit Fusion workload (or run a baseline whole)."""
@@ -415,101 +351,16 @@ class EvaluationSession:
             self.stats.compose_seconds += time.perf_counter() - started
         return result
 
-    def _execute_parallel(
-        self,
-        items: list[tuple[str, Workload]],
-        on_result: ResultCallback | None = None,
-    ) -> dict[str, NetworkResult]:
-        """Run scheduled workloads over the pool, warm artifacts resolved first.
-
-        Each workload is planned against the cache in the main process
-        (central compile, per-block resolution through both cache levels);
-        only plans with genuinely missing work ship a
-        :class:`~repro.session.engine.WorkUnit` to the pool, and each unit
-        is submitted the moment its plan is ready, so workers simulate the
-        first networks while the main process is still compiling the rest.
-        Results compose and store in schedule order, so blocks deferred to
-        an earlier in-batch claimant resolve from the cache exactly as they
-        would serially.
-
-        A worker failure — an error reply *or* a crashed worker process
-        (``BrokenProcessPool`` at ``Future.result()``) — fails only its own
-        workload and routes it into the retry/quarantine path; a broken
-        pool is discarded so the next batch starts fresh workers.
-        """
-        # The pool is created once per session and reused across batches
-        # so workers pay the interpreter/import start-up cost only once.
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        claimed: set[str] = set()
-        plans = []
-        futures = []
-        for _, workload in items:
-            plan = plan_workload(workload, self.cache, self.stats, claimed)
-            plans.append(plan)
-            if plan.needs_worker:
-                unit = plan.work_unit()
-                self.stats.workers.units += 1
-                self.stats.workers.remote_blocks += len(unit.simulate_indices)
-                futures.append(self._pool.submit(execute_work_unit, unit))
-        replies = iter(futures)
-        resolved: dict[str, NetworkResult] = {}
-        failures: list[_Failure] = []
-        for (key, workload), plan in zip(items, plans):
-            reply = None
-            if plan.needs_worker:
-                try:
-                    reply = next(replies).result()
-                except Exception as error:
-                    # The worker process died (or the pool broke): the reply
-                    # never arrived.  Fail this workload into the retry path
-                    # and discard the pool — once broken it poisons every
-                    # remaining future, and the next batch deserves fresh
-                    # workers.
-                    failures.append(
-                        _Failure(key, workload, describe_workload_error(workload, error))
-                    )
-                    self._discard_pool()
-                    continue
-            if reply is not None and reply.error is not None:
-                failures.append(_Failure(key, workload, reply.error))
-                continue
-            if reply is not None:
-                # Fold worker-side wall time into the session's per-stage
-                # timers so parallel footers measure the same stages.
-                self.stats.compile_seconds += reply.compile_seconds
-                self.stats.sim_seconds += reply.sim_seconds
-            try:
-                if reply is not None and reply.result is not None:
-                    result = reply.result
-                else:
-                    remote = dict(reply.layers) if reply is not None else {}
-                    started = time.perf_counter()
-                    result = compose_plan(plan, remote, self.cache, self.stats)
-                    self.stats.compose_seconds += time.perf_counter() - started
-            except Exception as error:
-                failures.append(
-                    _Failure(key, workload, describe_workload_error(workload, error))
-                )
-                continue
-            self._commit(key, workload, result, on_result)
-            resolved[key] = result
-        if failures:
-            self._finish_failures(failures, resolved, on_result)
-        return resolved
-
-    def _discard_pool(self) -> None:
-        """Drop a (possibly broken) worker pool; the next batch rebuilds it."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+    def _compose_plan(self, plan, remote) -> NetworkResult:
+        """Compose a plan from worker-delivered layers plus cached artifacts."""
+        return compose_plan(plan, remote, self.cache, self.stats)
 
     # ------------------------------------------------------------------ #
     # Retry-once / quarantine policy
     # ------------------------------------------------------------------ #
     def _finish_failures(
         self,
-        failures: list[_Failure],
+        failures: list[Failure],
         resolved: dict[str, NetworkResult],
         on_result: ResultCallback | None,
     ) -> None:

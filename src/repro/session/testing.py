@@ -18,6 +18,11 @@ hooks — all ``None`` (zero-cost no-ops) unless a test installs one:
   journaled.  This is the kill point: a hook that raises (or SIGKILLs the
   process) right here models a crash *between* durable commits, which is
   exactly the boundary a resumable sweep must survive.
+* **transport wrapper** — wraps every coordinator-side remote request the
+  :class:`~repro.session.remote.RemoteBackend` makes.  Receives
+  ``(address, unit, transport)`` and must return the reply dict (usually by
+  calling ``transport()``); raising a ``ConnectionError`` models a dropped
+  connection or dead worker without any real socket misbehaving.
 
 Hooks only exist in the installing process: real pool workers import this
 module fresh and see no hooks, so multiprocess runs are unaffected — tests
@@ -46,8 +51,10 @@ __all__ = [
     "install_kill_after_commits",
     "on_commit",
     "simulator_wrapper",
+    "transport_wrapper",
     "work_unit_wrapper",
     "wrap_simulators",
+    "wrap_transport",
     "wrap_work_units",
 ]
 
@@ -57,6 +64,8 @@ _work_unit_wrapper: Callable[[Any, Callable[[Any], Any]], Any] | None = None
 _simulator_wrapper: Callable[[Any, Any], Any] | None = None
 # (workload, result) -> None; fired after each durable commit.
 _after_commit: Callable[[Any, Any], None] | None = None
+# (address, unit, transport) -> reply dict; may raise ConnectionError.
+_transport_wrapper: Callable[[str, Any, Callable[[], Any]], Any] | None = None
 
 
 def work_unit_wrapper() -> Callable[[Any, Callable[[Any], Any]], Any] | None:
@@ -72,6 +81,11 @@ def simulator_wrapper() -> Callable[[Any, Any], Any] | None:
 def after_commit_hook() -> Callable[[Any, Any], None] | None:
     """The installed after-commit hook, or ``None``."""
     return _after_commit
+
+
+def transport_wrapper() -> Callable[[str, Any, Callable[[], Any]], Any] | None:
+    """The installed remote-transport wrapper, or ``None``."""
+    return _transport_wrapper
 
 
 def fire_after_commit(workload: Any, result: Any) -> None:
@@ -109,6 +123,26 @@ def wrap_simulators(wrapper: Callable[[Any, Any], Any]) -> Iterator[None]:
         yield
     finally:
         _simulator_wrapper = previous
+
+
+@contextmanager
+def wrap_transport(
+    wrapper: Callable[[str, Any, Callable[[], Any]], Any],
+) -> Iterator[None]:
+    """Scope a remote-transport wrapper for the duration of a ``with`` block.
+
+    The wrapper sits between the coordinator and the socket, so chaos tests
+    can drop, delay or corrupt a remote exchange deterministically — the
+    worker daemon on the other end stays perfectly healthy, which is what
+    distinguishes a *connection* fault from a *worker* fault.
+    """
+    global _transport_wrapper
+    previous = _transport_wrapper
+    _transport_wrapper = wrapper
+    try:
+        yield
+    finally:
+        _transport_wrapper = previous
 
 
 @contextmanager

@@ -30,6 +30,11 @@ The injectors:
   the callable immediately but re-raises any exception at ``.result()``
   time, matching real executor semantics (needed so injected worker crashes
   surface where ``BrokenProcessPool`` would).
+* :func:`drop_connections` — makes the remote backend's transport raise
+  :class:`InjectedConnectionDrop` for chosen worker addresses, each at most
+  ``times`` times, without any real socket misbehaving — the worker daemon
+  on the other end stays healthy, so the test isolates the *connection*
+  fault path (dead-client marking, work-stealing redistribution, retry).
 """
 
 from __future__ import annotations
@@ -42,10 +47,12 @@ from repro.session import testing
 __all__ = [
     "CapturingInlinePool",
     "FaultySimulator",
+    "InjectedConnectionDrop",
     "InjectedSimulatorFault",
     "InjectedWorkerCrash",
     "SimulatedKill",
     "crash_work_units",
+    "drop_connections",
     "faulty_simulators",
     "kill_after_commits",
 ]
@@ -61,6 +68,10 @@ class InjectedWorkerCrash(RuntimeError):
 
 class InjectedSimulatorFault(RuntimeError):
     """Models a block simulation raising mid-flight."""
+
+
+class InjectedConnectionDrop(ConnectionError):
+    """Models a remote worker connection dying mid-exchange."""
 
 
 @contextmanager
@@ -104,6 +115,8 @@ def crash_work_units(
     crashes: dict[str, int] = {}
 
     def wrapper(unit: Any, execute: Callable[[Any], Any]) -> Any:
+        if unit.workload is None:  # anonymous NAS units carry no fingerprint
+            return execute(unit)
         key = unit.workload.fingerprint()
         if key in targets and crashes.get(key, 0) < times:
             crashes[key] = crashes.get(key, 0) + 1
@@ -176,6 +189,33 @@ def faulty_simulators(
 
     with testing.wrap_simulators(wrapper):
         yield counter
+
+
+@contextmanager
+def drop_connections(
+    addresses: Iterable[str] | None = None, times: int = 1
+) -> Iterator[dict[str, int]]:
+    """Drop the remote transport for the given worker addresses.
+
+    Each targeted address raises :class:`InjectedConnectionDrop` on its
+    first ``times`` exchanges and passes traffic through afterwards;
+    ``addresses=None`` targets every worker.  Yields the per-address drop
+    counter.  The coordinator treats a drop exactly like a dead worker —
+    the in-flight unit fails into the retry path and the client is marked
+    dead — so ``times=1`` against a two-worker backend exercises the
+    survivor absorbing the rest of the schedule.
+    """
+    targets = None if addresses is None else set(addresses)
+    drops: dict[str, int] = {}
+
+    def wrapper(address: str, unit: Any, transport: Callable[[], Any]) -> Any:
+        if (targets is None or address in targets) and drops.get(address, 0) < times:
+            drops[address] = drops.get(address, 0) + 1
+            raise InjectedConnectionDrop(f"injected connection drop to {address}")
+        return transport()
+
+    with testing.wrap_transport(wrapper):
+        yield drops
 
 
 class CapturingInlinePool:

@@ -335,6 +335,8 @@ class TestReportAcceptance:
                 if not line.startswith("_(generated in")
                 and not line.startswith("worker processes")
                 and not line.startswith("parallel workers")
+                and not line.startswith("backend")
+                and not line.startswith("per-worker")
                 and not line.startswith("compile time")
                 and not line.startswith("sim time")
             ]
