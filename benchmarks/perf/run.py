@@ -2,7 +2,7 @@
 
 ``python benchmarks/perf/run.py`` measures the scenarios the ROADMAP's
 "runs as fast as the hardware allows" goal cares about and emits one
-trajectory point as JSON (``BENCH_8.json`` by default):
+trajectory point as JSON (``BENCH_9.json`` by default):
 
 * **cold compile** — every zoo network through a fresh ``FusionCompiler``
   (vectorized tiling search, no memoization), total and per network;
@@ -28,6 +28,11 @@ trajectory point as JSON (``BENCH_8.json`` by default):
   in-thread TCP worker daemon on localhost, with the coordinator-side
   dispatch (serialize + submit) cost reported per work unit, so the remote
   backend's wire-protocol overhead stays tracked;
+* **cache I/O** — persisting and bulk-reading a thousand-plus artifact
+  entries through the legacy one-file-per-entry JSON layout vs the
+  segmented pack store's batched group commits and ``get_many`` (the
+  speedups are machine-independent ratios and the repo's acceptance bar
+  is >= 5x on batched persists);
 * **sweep grid expansion** — ``SweepSpec.expand`` on a few-hundred-point
   spec;
 * **Pareto reduction** — the sort-based frontier on synthetic points;
@@ -48,10 +53,12 @@ ratios (speedups, hit rates) are machine-independent and tight.  See
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import platform
 import random
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -72,7 +79,7 @@ from repro.dse.spec import SweepSpec  # noqa: E402
 from repro.isa.compiler import FusionCompiler  # noqa: E402
 from repro.isa.tiling import search_tiling, search_tiling_scalar  # noqa: E402
 from repro.session import EvaluationSession, Workload  # noqa: E402
-from repro.session.cache import CacheStats, ResultCache  # noqa: E402
+from repro.session.cache import CacheStats, ProgramStats, ResultCache  # noqa: E402
 from repro.session.engine import make_plan_resolver  # noqa: E402
 from repro.session.remote import RemoteBackend, WorkerServer  # noqa: E402
 from repro.sim.batched import simulate_blocks_batched, simulate_blocks_grid  # noqa: E402
@@ -317,6 +324,92 @@ def bench_run_many_remote(repeats: int) -> dict:
     }
 
 
+def bench_cache_io(repeats: int) -> dict:
+    """Artifact persistence and bulk reads: JSON dir vs segmented store.
+
+    Persisting measures what ``run_many`` and the NAS store-back actually
+    pay per artifact batch: the legacy layout writes (and fsync-queues) one
+    file per entry, the pack store group-commits the whole batch as a
+    single segment append.  Reading compares a per-key ``get`` loop over
+    the JSON dir with one ``get_many`` index pass over the pack store —
+    both through a fresh ``ResultCache`` so the open cost (manifest load,
+    index build) is included, exactly as a warm run or remote worker
+    sees it.  The speedups are machine-independent ratios; the repo's
+    acceptance bar is >= 5x for batched persists at >= 1000 entries.
+    """
+    entries = 1200
+    items = [
+        (
+            f"bench-entry-{index:05d}",
+            ProgramStats(
+                network_name=f"net-{index:05d}",
+                block_instruction_counts=(index, index + 1, index + 2),
+                total_instructions=3 * index + 3,
+                binary_bytes=12 * index,
+            ),
+        )
+        for index in range(entries)
+    ]
+    keys = [key for key, _ in items]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as base:
+        root = Path(base)
+        fresh = itertools.count()
+
+        def json_put() -> None:
+            cache = ResultCache(root / f"json-{next(fresh)}", layout="json")
+            for key, value in items:
+                cache.put(key, value)
+            cache.flush()
+            cache.close()
+
+        def pack_put() -> None:
+            cache = ResultCache(root / f"pack-{next(fresh)}", layout="pack")
+            with cache.batch():
+                for key, value in items:
+                    cache.put(key, value)
+            cache.flush()
+            cache.close()
+
+        json_put_s = _best_of(repeats, json_put)
+        pack_put_s = _best_of(repeats, pack_put)
+
+        json_dir, pack_dir = root / "json-read", root / "pack-read"
+        for directory, layout in ((json_dir, "json"), (pack_dir, "pack")):
+            seeder = ResultCache(directory, layout=layout)
+            with seeder.batch():
+                for key, value in items:
+                    seeder.put(key, value)
+            seeder.flush()
+            seeder.close()
+
+        def json_get() -> None:
+            cache = ResultCache(json_dir, layout="json")
+            for key in keys:
+                assert cache.get(key) is not None
+            cache.close()
+
+        def pack_get_many() -> None:
+            cache = ResultCache(pack_dir, layout="pack")
+            assert len(cache.get_many(keys)) == entries
+            cache.close()
+
+        json_get_s = _best_of(repeats, json_get)
+        pack_get_s = _best_of(repeats, pack_get_many)
+
+    return {
+        "cache_io_entries": entries,
+        "cache_put_json_s": json_put_s,
+        "cache_put_pack_s": pack_put_s,
+        "cache_put_speedup": json_put_s / pack_put_s,
+        "cache_put_pack_entries_per_s": entries / pack_put_s,
+        "cache_get_json_s": json_get_s,
+        "cache_get_many_pack_s": pack_get_s,
+        "cache_get_speedup": json_get_s / pack_get_s,
+        "cache_get_many_entries_per_s": entries / pack_get_s,
+    }
+
+
 def bench_sweep_expand(repeats: int) -> dict:
     spec = SweepSpec.from_dict(
         {
@@ -404,12 +497,13 @@ def run_suite(repeats: int) -> dict:
     metrics.update(bench_run_many(repeats))
     metrics.update(bench_run_many_jobs(repeats))
     metrics.update(bench_run_many_remote(repeats))
+    metrics.update(bench_cache_io(repeats))
     metrics.update(bench_sweep_expand(repeats))
     metrics.update(bench_pareto(repeats))
     metrics.update(bench_nas(repeats))
     return {
         "bench": "repro-perf",
-        "trajectory_point": 8,
+        "trajectory_point": 9,
         "repro_version": __version__,
         "metrics": metrics,
         "environment": {
@@ -454,8 +548,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         metavar="PATH",
-        default=str(REPO_ROOT / "BENCH_8.json"),
-        help="where to write the trajectory point (default: BENCH_8.json at the repo root)",
+        default=str(REPO_ROOT / "BENCH_9.json"),
+        help="where to write the trajectory point (default: BENCH_9.json at the repo root)",
     )
     parser.add_argument(
         "--check",
@@ -516,6 +610,13 @@ def main(argv: list[str] | None = None) -> int:
         f"cold {metrics['run_many_remote_cold_s'] * 1e3:.0f} ms, "
         f"{metrics['remote_work_units']} work units, "
         f"dispatch {metrics['remote_dispatch_per_unit_s'] * 1e6:.0f} us/unit"
+    )
+    print(
+        f"cache io over {metrics['cache_io_entries']} entries: "
+        f"batched pack persist {metrics['cache_put_pack_entries_per_s']:.0f} entries/s "
+        f"({metrics['cache_put_speedup']:.1f}x vs json files), "
+        f"get_many {metrics['cache_get_many_entries_per_s']:.0f} entries/s "
+        f"({metrics['cache_get_speedup']:.1f}x vs per-key json gets)"
     )
     print(
         f"nas estimator: warm estimate {metrics['nas_warm_estimate_s'] * 1e6:.0f} us "

@@ -71,6 +71,7 @@ from repro.session import (
     ResultCache,
     SweepCheckpoint,
     make_backend,
+    migrate_json_dir,
     resolve_session,
     use_session,
 )
@@ -896,7 +897,10 @@ def format_cache_info(cache_dir: str) -> str:
         raise ValueError(f"cache directory {cache_dir!r} does not exist")
     cache = ResultCache(cache_dir)
     summary = cache.entry_summary()
-    lines = [f"cache directory: {cache.cache_dir}"]
+    lines = [
+        f"cache directory: {cache.cache_dir}",
+        f"format: {cache.describe_layout()}",
+    ]
     if not summary:
         lines.append("(empty)")
         return "\n".join(lines)
@@ -931,6 +935,47 @@ def format_cache_info(cache_dir: str) -> str:
     return "\n".join(lines)
 
 
+def cache_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``cache`` subcommand: store maintenance.
+
+    ``cache migrate --cache-dir PATH`` converts a legacy JSON-per-entry
+    cache directory to the segmented pack-file layout in place (batched
+    group commits, then the per-entry files are deleted).  Idempotent: a
+    directory that is already segmented migrates zero entries.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness cache",
+        description="Artifact-store maintenance for a --cache-dir directory.",
+    )
+    parser.add_argument(
+        "action",
+        choices=["migrate"],
+        help="migrate: convert a JSON-layout cache directory to the "
+        "segmented pack-file store in place",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="PATH",
+        help="cache directory to operate on (must exist)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        entries, size = migrate_json_dir(args.cache_dir)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if entries:
+        print(
+            f"migrated {entries} entries ({size / 1024:.1f} KiB) "
+            f"to the segmented pack store"
+        )
+    else:
+        print("nothing to migrate: no JSON-layout entries found")
+    print(format_cache_info(args.cache_dir))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Command-line entry point (``python -m repro.harness``)."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -940,6 +985,8 @@ def main(argv: list[str] | None = None) -> int:
         return nas_main(argv[1:])
     if argv and argv[0] == "worker":
         return worker_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the Bit Fusion paper's tables and figures. "

@@ -54,6 +54,7 @@ from repro.session.engine import (
     layer_cache_key,
     lookup_block,
     make_plan_resolver,
+    prefetch_block_artifacts,
     program_content_key,
     simulate_planned_blocks,
     store_layer_record,
@@ -273,6 +274,7 @@ class Estimator:
 
     def _plan(self, network: Network, fingerprint: str, claimed: set[str]) -> _CandidatePlan:
         program = self._obtain_program(network, fingerprint)
+        prefetch_block_artifacts(program, self.config, self.cache)
         cached: dict[int, LayerResult] = {}
         simulate: list[int] = []
         deferred: list[int] = []
@@ -313,6 +315,21 @@ class Estimator:
     def _compose(
         self, plan: _CandidatePlan, remote_layers: dict[int, LayerResult]
     ) -> NetworkResult:
+        # Group-commit the candidate's store-backs: every freshly simulated
+        # layer of this plan lands in one segment append on pack caches.
+        with self.cache.batch():
+            layers = self._compose_layers(plan, remote_layers)
+        return compose_network_result(
+            network_name=plan.program.network_name,
+            platform=self.config.name,
+            batch_size=self.batch_size,
+            frequency_mhz=self.config.frequency_mhz,
+            layers=layers,
+        )
+
+    def _compose_layers(
+        self, plan: _CandidatePlan, remote_layers: dict[int, LayerResult]
+    ) -> list[LayerResult]:
         layers: list[LayerResult] = []
         for index, compiled in enumerate(plan.program):
             if index in plan.cached_layers:
@@ -339,10 +356,4 @@ class Estimator:
                 )
             (self.cache_stats.blocks if level == "block" else self.cache_stats.layers).record_hit(source)
             layers.append(value)
-        return compose_network_result(
-            network_name=plan.program.network_name,
-            platform=self.config.name,
-            batch_size=self.batch_size,
-            frequency_mhz=self.config.frequency_mhz,
-            layers=layers,
-        )
+        return layers

@@ -12,7 +12,10 @@ comparison routes through:
   fingerprint + simulation-affecting config).
 * :class:`~repro.session.cache.ResultCache` — fingerprint-keyed artifact
   store, in-memory with an optional manifest-indexed, LRU-bounded on-disk
-  JSON layer.
+  layer (segmented pack-file store by default —
+  :class:`~repro.session.store.SegmentedStore`, group-committed appends,
+  eviction by segment compaction — with the legacy JSON-per-entry layout
+  served as a read-compatible fallback).
 * :class:`~repro.session.session.EvaluationSession` — ``run`` /
   ``run_many`` (process-pool parallel, longest-job-first) / declarative
   ``sweep`` execution with per-stage cache-hit accounting.
@@ -107,6 +110,7 @@ from repro.session.engine import (
     program_cache_key,
     tiling_cache_key,
 )
+from repro.session.store import SegmentedStore, migrate_json_dir
 from repro.session.session import (
     EvaluationSession,
     SweepPoint,
@@ -139,6 +143,7 @@ __all__ = [
     "QuarantineRecord",
     "ResultCache",
     "SWEEP_CHECKPOINT_NAME",
+    "SegmentedStore",
     "StageStats",
     "SweepCheckpoint",
     "SweepPoint",
@@ -164,6 +169,7 @@ __all__ = [
     "load_network",
     "make_backend",
     "make_plan_resolver",
+    "migrate_json_dir",
     "network_digest",
     "program_cache_key",
     "tiling_cache_key",

@@ -141,35 +141,41 @@ class InlineBackend(ExecutionBackend):
         resolved: dict[str, NetworkResult] = {}
         failures: list[Failure] = []
         if session.checkpoint is None:
-            claimed: set[str] = set()
-            plans = [
-                plan_workload(workload, session.cache, stats, claimed)
-                for _, workload in items
-            ]
-            try:
-                started = time.perf_counter()
-                remote: list[dict[int, object]] | None = self.simulate_plans(plans)
-                stats.sim_seconds += time.perf_counter() - started
-            except Exception:
-                # One faulting block aborted the whole batched call; degrade
-                # to per-plan simulation so only the faulty workload fails.
-                remote = None
-            for index, ((key, workload), plan) in enumerate(zip(items, plans)):
+            # No durability contract to honour between workloads, so the
+            # whole batch — compile-stage artifacts and every composed
+            # workload's store-backs — lands as one group commit (a single
+            # segment append + one index flush on pack-layout caches).
+            with session.cache.batch():
+                claimed: set[str] = set()
+                plans = [
+                    plan_workload(workload, session.cache, stats, claimed)
+                    for _, workload in items
+                ]
                 try:
-                    if remote is not None:
-                        layers = remote[index]
-                    else:
-                        started = time.perf_counter()
-                        layers = simulate_planned_blocks([plan])[0]
-                        stats.sim_seconds += time.perf_counter() - started
-                    result = session._finish_plan(workload, plan, layers)
-                except Exception as error:
-                    failures.append(
-                        Failure(key, workload, describe_workload_error(workload, error))
-                    )
-                    continue
-                session._commit(key, workload, result, on_result)
-                resolved[key] = result
+                    started = time.perf_counter()
+                    remote: list[dict[int, object]] | None = self.simulate_plans(plans)
+                    stats.sim_seconds += time.perf_counter() - started
+                except Exception:
+                    # One faulting block aborted the whole batched call;
+                    # degrade to per-plan simulation so only the faulty
+                    # workload fails.
+                    remote = None
+                for index, ((key, workload), plan) in enumerate(zip(items, plans)):
+                    try:
+                        if remote is not None:
+                            layers = remote[index]
+                        else:
+                            started = time.perf_counter()
+                            layers = simulate_planned_blocks([plan])[0]
+                            stats.sim_seconds += time.perf_counter() - started
+                        result = session._finish_plan(workload, plan, layers)
+                    except Exception as error:
+                        failures.append(
+                            Failure(key, workload, describe_workload_error(workload, error))
+                        )
+                        continue
+                    session._commit(key, workload, result, on_result)
+                    resolved[key] = result
         else:
             # Checkpointed: one durable commit per workload, in schedule
             # order.  Trades the cross-workload grid merge for the property

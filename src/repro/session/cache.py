@@ -35,15 +35,36 @@ Every payload serializes losslessly to JSON — ints, floats and strings
 only, and Python's JSON round-trips floats exactly — so an entry read back
 from disk is bit-identical to the freshly computed artifact.
 
-On-disk layout: one ``<fingerprint>.json`` file per entry under the cache
-directory, plus a ``manifest.json`` carrying a schema version and an entry
+On-disk layout — two formats, one directory contract:
+
+* ``pack`` (default for new directories): entries live in append-only
+  pack segments managed by :class:`repro.session.store.SegmentedStore`
+  (length-prefixed compact records + per-segment index sidecars).  The
+  key index is built once at open; lookups are dictionary hits, writes
+  are group-committed appends (:meth:`ResultCache.batch` buffers a
+  batch's records into a single segment write), bulk reads go through
+  :meth:`ResultCache.get_many`/:meth:`ResultCache.prefetch`, and
+  eviction is segment compaction instead of per-file unlinks.
+* ``json`` (legacy, read-compatible fallback and correctness oracle):
+  one ``<fingerprint>.json`` file per entry.  Opening an old JSON-layout
+  directory keeps serving it unchanged; ``python -m repro.harness cache
+  migrate`` converts it in place.  Both formats produce byte-identical
+  results and statistics — only the I/O cost differs.
+
+The layout is auto-detected from the directory contents (segments → pack,
+per-entry files → json, empty → pack), overridable per cache via the
+``layout=`` parameter or globally via ``REPRO_CACHE_LAYOUT=json|pack``.
+A pack-layout cache still reads stray ``<key>.json`` entries left in the
+directory (mixed dirs mid-migration), so the two formats can coexist.
+
+Either way a ``manifest.json`` carries a schema version and an entry
 index (kind, size, recency).  The manifest makes a cache directory safe to
 share across machines and CI runs: a schema bump or a hand-edited directory
 degrades to a rebuild, never a crash, and an optional ``max_bytes`` budget
 evicts least-recently-used entries so shared directories stay bounded.
 
-The manifest is strictly advisory: entry lookups always check the
-filesystem, so a stale, missing or read-only manifest never affects
+The manifest is strictly advisory: entry lookups always check the backing
+store, so a stale, missing or read-only manifest never affects
 correctness — read paths degrade to plain reads when the directory is not
 writable, and concurrent writers that race on the manifest merely leave it
 temporarily incomplete (each writer enforces the size budget against its
@@ -54,12 +75,15 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from repro.isa.program import Program
+from repro.session.store import SEGMENT_SUFFIX, SegmentedStore, encode_body
 from repro.isa.tiling import TilingPlan
 from repro.sim.results import (
     LayerResult,
@@ -352,31 +376,71 @@ def _kind_of(value: Any) -> str:
     raise TypeError(f"cannot cache values of type {type(value).__name__}")
 
 
+#: Environment override for the on-disk layout (``json`` or ``pack``);
+#: an explicit ``layout=`` argument wins over it, auto-detection applies
+#: when neither is set.  CI's format-compatibility smoke uses this to seed
+#: a legacy JSON-layout directory without code changes.
+LAYOUT_ENV = "REPRO_CACHE_LAYOUT"
+
+#: Entry files put ``"kind"`` first (``json.dumps(sort_keys=True)`` of a
+#: dict whose first sorted key is ``kind``), so a bounded prefix is enough
+#: to recover it during a manifest rebuild — reading whole payloads (which
+#: can be megabytes for network results) made rebuilds scale with payload
+#: bytes instead of entry count.
+_KIND_PREFIX_BYTES = 256
+_KIND_PATTERN = re.compile(r'"kind":\s*"([a-z_]+)"')
+
+
+def _read_entry_kind(path: Path) -> str:
+    """Recover an entry file's ``kind`` from a bounded prefix read."""
+    try:
+        with path.open("rb") as handle:
+            head = handle.read(_KIND_PREFIX_BYTES).decode("utf-8", errors="replace")
+    except OSError:
+        return "unknown"
+    match = _KIND_PATTERN.search(head)
+    return match.group(1) if match is not None else "unknown"
+
+
 class ResultCache:
     """Fingerprint-keyed store of evaluation artifacts.
 
     Parameters
     ----------
     cache_dir:
-        When given, entries are also persisted as JSON files under this
-        directory and later sessions (or processes) can reuse them; when
-        ``None`` the cache is memory-only and lives for one session.
+        When given, entries are also persisted under this directory and
+        later sessions (or processes) can reuse them; when ``None`` the
+        cache is memory-only and lives for one session.
     max_bytes:
         Optional size budget for the on-disk store.  When the sum of entry
         sizes exceeds the budget after a write, least-recently-used entries
         are evicted until it fits (the entry just written always survives).
+    layout:
+        On-disk format: ``"pack"`` (segmented pack-file store) or
+        ``"json"`` (legacy one-file-per-entry).  ``None`` consults the
+        ``REPRO_CACHE_LAYOUT`` environment variable, then auto-detects
+        from the directory contents; fresh directories default to pack.
     """
 
     def __init__(
-        self, cache_dir: str | Path | None = None, max_bytes: int | None = None
+        self,
+        cache_dir: str | Path | None = None,
+        max_bytes: int | None = None,
+        layout: str | None = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         #: Wall-clock seconds spent on cache disk IO (entry reads in
-        #: :meth:`get`, entry writes in :meth:`put`) — the ``cache-IO`` row
-        #: of ``python -m repro.harness --profile``.
+        #: :meth:`get`/:meth:`prefetch`, entry writes in :meth:`put` and
+        #: batch drains) — the ``cache-IO`` row of ``python -m
+        #: repro.harness --profile``.
         self.io_seconds = 0.0
         self._memory: dict[str, Any] = {}
+        #: Bulk-read staging (:meth:`prefetch`): values read from disk but
+        #: not yet handed out, so the first :meth:`get_with_source` on a
+        #: prefetched key still reports ``"disk"`` exactly like the
+        #: one-file-per-entry oracle would.
+        self._prefetched: dict[str, Any] = {}
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_bytes = max_bytes
         self._manifest: dict[str, dict[str, Any]] = {}
@@ -385,15 +449,68 @@ class ResultCache:
         self._aliases: dict[str, str] = {}
         self._manifest_dirty = False
         self._seq = 0
+        #: Running total of manifest entry bytes, maintained incrementally
+        #: so the per-put budget check is O(1) instead of re-summing the
+        #: whole manifest on every write.
+        self._live_bytes = 0
+        self._store: SegmentedStore | None = None
+        #: Pack layout only: whether stray per-entry JSON files exist in
+        #: the directory and must be consulted as a read fallback.
+        self._json_fallback = False
+        #: Group-commit state (:meth:`batch`): nesting depth plus the
+        #: encoded record bodies queued for the next single segment append.
+        self._batch_depth = 0
+        self._batch_records: dict[str, tuple[str, bytes]] = {}
+        self.layout = "memory"
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self.layout = self._resolve_layout(layout)
+            if self.layout == "pack":
+                self._store = SegmentedStore(self.cache_dir)
             self._load_manifest()
+
+    def _resolve_layout(self, layout: str | None) -> str:
+        """Explicit argument > ``REPRO_CACHE_LAYOUT`` > directory contents."""
+        assert self.cache_dir is not None
+        if layout is None:
+            layout = os.environ.get(LAYOUT_ENV) or None
+        if layout not in (None, "json", "pack"):
+            raise ValueError(f"unknown cache layout {layout!r} (expected 'json' or 'pack')")
+        has_segments = False
+        has_entries = False
+        try:
+            for item in os.scandir(self.cache_dir):
+                name = item.name
+                if name.startswith("pack-") and name.endswith(SEGMENT_SUFFIX):
+                    has_segments = True
+                elif (
+                    name.endswith(".json")
+                    and name != _MANIFEST_NAME
+                    and not name.endswith(".tmp")
+                ):
+                    has_entries = True
+        except OSError:
+            pass
+        self._json_fallback = has_entries
+        if layout is not None:
+            return layout
+        if has_segments:
+            return "pack"
+        if has_entries:
+            return "json"
+        return "pack"
 
     def __len__(self) -> int:
         return len(self._memory)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._memory or self._entry_path(key) is not None
+        if key in self._memory or key in self._prefetched:
+            return True
+        if self._store is not None:
+            if key in self._store:
+                return True
+            return self._json_fallback and self._entry_path(key) is not None
+        return self._entry_path(key) is not None
 
     # ------------------------------------------------------------------ #
     # Manifest (schema version + entry index + recency for LRU)
@@ -425,8 +542,18 @@ class ResultCache:
         self._seq = max(
             (int(entry.get("seq", 0)) for entry in self._manifest.values()), default=0
         )
+        self._live_bytes = sum(
+            int(entry.get("bytes", 0)) for entry in self._manifest.values()
+        )
 
     def _rebuild_manifest(self) -> None:
+        """Rebuild the advisory index from the entries actually present.
+
+        Sizes come from ``stat`` (json files) or the store index (pack
+        records), and an entry's ``kind`` comes from the store index or a
+        bounded prefix read of the file — never a full payload read, so a
+        rebuild scales with the entry *count*, not the payload bytes.
+        """
         assert self.cache_dir is not None
         records: list[tuple[float, str, Path, int]] = []
         for path in self.cache_dir.glob("*.json"):
@@ -442,13 +569,17 @@ class ResultCache:
         entries: dict[str, dict[str, Any]] = {}
         # Oldest files get the lowest recency so a fresh manifest preserves a
         # sensible LRU order.
+        seq = 0
         for seq, (_, _, path, size) in enumerate(sorted(records), 1):
-            kind = "unknown"
-            try:
-                kind = json.loads(path.read_text(encoding="utf-8")).get("kind", "unknown")
-            except (OSError, ValueError):
-                pass
-            entries[path.stem] = {"kind": kind, "bytes": size, "seq": seq}
+            entries[path.stem] = {"kind": _read_entry_kind(path), "bytes": size, "seq": seq}
+        if self._store is not None:
+            # Pack records carry their kind and size in the store index —
+            # no reads at all.  Store entries are newer than any leftover
+            # json files by construction (migration deletes the files), so
+            # they take the higher recency and win key collisions.
+            for key, kind, size in self._store.index_entries():
+                seq += 1
+                entries[key] = {"kind": kind, "bytes": size, "seq": seq}
         self._manifest = entries
         self._manifest_dirty = True
         self._flush_manifest()
@@ -476,8 +607,17 @@ class ResultCache:
         self._manifest_dirty = False
 
     def flush(self) -> None:
-        """Flush any pending manifest updates (recency touches) to disk."""
+        """Flush pending manifest updates and the store's index sidecar.
+
+        One call lands everything batched since the last flush: recency
+        touches, new entries' bookkeeping, and (pack layout) the writer
+        segment's index sidecar — a single index flush per executed batch,
+        not one per record.  Records queued inside an open :meth:`batch`
+        scope are left for the scope's own drain.
+        """
         self._flush_manifest()
+        if self._store is not None:
+            self._store.flush()
 
     def alias(self, key: str, target: str) -> None:
         """Route recency touches on a memory-only ``key`` to ``target``.
@@ -514,29 +654,46 @@ class ResultCache:
         self._manifest_dirty = True
 
     def _evict_over_budget(self, protected: str) -> None:
-        """Evict least-recently-used entries until the size budget fits."""
+        """Evict least-recently-used entries until the size budget fits.
+
+        The budget check runs on every put, so it compares the maintained
+        running total (``_live_bytes``) instead of re-summing the manifest,
+        and only sorts by recency once actually over budget.  Pack layout:
+        eviction drops the key from the store index (its record bytes
+        become dead) and one compaction pass afterwards rewrites segments
+        that are now mostly dead — no per-entry unlinks.
+        """
         if self.max_bytes is None or self.cache_dir is None:
             return
-        total = sum(int(entry.get("bytes", 0)) for entry in self._manifest.values())
-        if total <= self.max_bytes:
+        if self._live_bytes <= self.max_bytes:
             return
         by_recency = sorted(
             (key for key in self._manifest if key != protected),
             key=lambda key: int(self._manifest[key].get("seq", 0)),
         )
         for key in by_recency:
-            if total <= self.max_bytes:
+            if self._live_bytes <= self.max_bytes:
                 break
-            total -= int(self._manifest[key].get("bytes", 0))
-            try:
-                (self.cache_dir / f"{key}.json").unlink(missing_ok=True)
-            except OSError:
-                continue
+            if self._store is not None:
+                self._batch_records.pop(key, None)
+                self._store.discard(key)
+            else:
+                try:
+                    (self.cache_dir / f"{key}.json").unlink(missing_ok=True)
+                except OSError:
+                    continue
+            self._live_bytes -= int(self._manifest[key].get("bytes", 0))
             del self._manifest[key]
             # Batched like every other manifest update (the index is
-            # advisory; a stale entry for a deleted file is harmless until
+            # advisory; a stale entry for a deleted record is harmless until
             # the next flush or rebuild reconciles it).
             self._manifest_dirty = True
+        if self._store is not None:
+            # Aggressive: an evicted record must be gone for the *next*
+            # reader too, so any idle segment now carrying dead bytes is
+            # rewritten (evictions landing in this process's own segment
+            # stay dead-byte marks — its index sidecar hides them).
+            self._store.compact(aggressive=True)
 
     # ------------------------------------------------------------------ #
     # Lookup / store
@@ -547,6 +704,45 @@ class ResultCache:
         path = self.cache_dir / f"{key}.json"
         return path if path.exists() else None
 
+    @staticmethod
+    def _decode_entry(entry: dict[str, Any]) -> Any | None:
+        """Deserialize one entry record's payload; None when unreadable."""
+        try:
+            _, deserialize = _SERIALIZERS[entry["kind"]]
+            return deserialize(entry["payload"])
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def _read_disk_entry(self, key: str) -> Any | None:
+        """One on-disk entry (store record or json file), deserialized.
+
+        Pack layout consults the store index first and falls back to a
+        stray ``<key>.json`` file when the directory still carries legacy
+        entries (mid-migration mixed dirs).  IO time is accounted here.
+        """
+        started = time.perf_counter()
+        try:
+            if self._store is not None:
+                record = self._store.get_record(key)
+                if record is not None:
+                    return self._decode_entry(record)
+                if not self._json_fallback:
+                    return None
+            path = self._entry_path(key)
+            if path is None:
+                return None
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                if not isinstance(entry, dict):
+                    return None
+            except (OSError, ValueError):
+                # A corrupted or schema-stale entry is a miss, not a crash;
+                # the fresh computation overwrites it on the next put().
+                return None
+            return self._decode_entry(entry)
+        finally:
+            self.io_seconds += time.perf_counter() - started
+
     def get(self, key: str) -> Any | None:
         """Fetch an entry, promoting disk entries into memory. None on miss."""
         if key in self._memory:
@@ -555,23 +751,65 @@ class ResultCache:
             # touch they would look LRU-coldest on disk and be evicted first.
             self._touch(key)
             return self._memory[key]
-        path = self._entry_path(key)
-        if path is None:
+        value = self._prefetched.pop(key, None)
+        if value is None:
+            value = self._read_disk_entry(key)
+        if value is None:
             return None
-        started = time.perf_counter()
-        try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
-            _, deserialize = _SERIALIZERS[entry["kind"]]
-            value = deserialize(entry["payload"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # A corrupted or schema-stale entry is a miss, not a crash; the
-            # fresh computation overwrites it on the next put().
-            return None
-        finally:
-            self.io_seconds += time.perf_counter() - started
         self._memory[key] = value
         self._touch(key)
         return value
+
+    def prefetch(self, keys: Iterable[str]) -> set[str] | None:
+        """Bulk-stage on-disk entries for upcoming :meth:`get` calls.
+
+        Pack layout: one index pass plus per-segment reads in offset order
+        resolves the whole batch; staged values sit apart from the memory
+        tier so the first :meth:`get_with_source` on each still reports
+        ``"disk"`` — statistics stay byte-identical to the json oracle.
+        Returns the keys that are *not* available (a following ``get``
+        would miss), or ``None`` when there is nothing to bulk-read (json
+        or memory-only layout, where per-entry reads are already the cost).
+        """
+        if self._store is None:
+            return None
+        wanted = [
+            key
+            for key in keys
+            if key not in self._memory and key not in self._prefetched
+        ]
+        missing: set[str] = set()
+        if not wanted:
+            return missing
+        started = time.perf_counter()
+        records = self._store.get_records(wanted)
+        self.io_seconds += time.perf_counter() - started
+        for key in wanted:
+            record = records.get(key)
+            value = self._decode_entry(record) if record is not None else None
+            if value is None and self._json_fallback:
+                value = self._read_disk_entry(key)
+            if value is None:
+                missing.add(key)
+            else:
+                self._prefetched[key] = value
+        return missing
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Resolve a batch of keys in one index pass; absent keys omitted.
+
+        Equivalent to (and accounted exactly like) a :meth:`get` per key,
+        but pack-layout reads are grouped per segment instead of probing
+        the filesystem once per key.
+        """
+        keys = list(keys)
+        self.prefetch(keys)
+        out: dict[str, Any] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not None:
+                out[key] = value
+        return out
 
     def get_with_source(self, key: str) -> tuple[Any | None, str]:
         """Like :meth:`get` but also reports ``"memory"``/``"disk"``/``"miss"``."""
@@ -601,25 +839,46 @@ class ResultCache:
         are ordinary :class:`~repro.sim.results.LayerResult` payloads filed
         under a different kind than the block-keyed ``layer_result`` ones.
 
-        The entry file itself is written immediately (and atomically);
-        manifest updates are batched and land with the next eviction pass or
-        :meth:`flush` (the session flushes after every executed batch and on
-        close), so storing N artifacts costs N entry writes plus O(1)
-        manifest rewrites instead of N.
+        Json layout: the entry file is written immediately (and
+        atomically).  Pack layout: the record is appended to this process's
+        segment immediately — or, inside a :meth:`batch` scope, queued and
+        group-committed as one segment write when the scope closes.  Either
+        way manifest updates are batched and land with the next eviction
+        pass or :meth:`flush` (the session flushes after every executed
+        batch and on close), so storing N artifacts costs O(1) manifest
+        rewrites instead of N.
         """
         if kind is None:
             kind = _kind_of(value)
         elif kind not in _SERIALIZERS:
             raise ValueError(f"unknown cache entry kind {kind!r}")
         self._memory[key] = value
-        if self.cache_dir is not None and persist:
+        self._prefetched.pop(key, None)
+        if self.cache_dir is None or not persist:
+            return
+        serialize, _ = _SERIALIZERS[kind]
+        entry = {
+            "kind": kind,
+            "workload": description or {},
+            "payload": serialize(value),
+        }
+        if self._store is not None:
+            body = encode_body(key, entry)
+            if self._batch_depth > 0:
+                # Pure CPU: the queued record's I/O happens (and is timed)
+                # at the batch drain.
+                self._batch_records[key] = (kind, body)
+            else:
+                started = time.perf_counter()
+                sizes = self._store.append_encoded([(key, kind, body)])
+                self.io_seconds += time.perf_counter() - started
+                if sizes is None:
+                    # A read-only shared cache directory still serves reads;
+                    # the fresh value simply stays memory-only this session.
+                    return
+            entry_bytes = len(body)
+        else:
             started = time.perf_counter()
-            serialize, _ = _SERIALIZERS[kind]
-            entry = {
-                "kind": kind,
-                "workload": description or {},
-                "payload": serialize(value),
-            }
             path = self.cache_dir / f"{key}.json"
             # Per-process temp name so concurrent runs sharing a cache dir
             # never tear each other's writes; the final replace is atomic.
@@ -629,27 +888,64 @@ class ResultCache:
                 tmp.write_text(text, encoding="utf-8")
                 tmp.replace(path)
             except OSError:
-                # A read-only shared cache directory still serves reads; the
-                # fresh value simply stays memory-only for this session.
                 return
             finally:
                 self.io_seconds += time.perf_counter() - started
-            self._seq += 1
-            # Overwrites keep the accumulated reference count: the entry's
-            # payload is new but its reuse history is not.
-            refs = int(self._manifest.get(key, {}).get("refs", 0))
-            self._manifest[key] = {
-                "kind": kind,
-                "bytes": len(text.encode("utf-8")),
-                "seq": self._seq,
-                "refs": refs,
-            }
-            self._manifest_dirty = True
+            entry_bytes = len(text.encode("utf-8"))
+        self._seq += 1
+        # Overwrites keep the accumulated reference count: the entry's
+        # payload is new but its reuse history is not.
+        previous = self._manifest.get(key)
+        refs = int(previous.get("refs", 0)) if previous else 0
+        self._live_bytes -= int(previous.get("bytes", 0)) if previous else 0
+        self._manifest[key] = {
+            "kind": kind,
+            "bytes": entry_bytes,
+            "seq": self._seq,
+            "refs": refs,
+        }
+        self._live_bytes += entry_bytes
+        self._manifest_dirty = True
+        if self.max_bytes is not None:
             self._evict_over_budget(protected=key)
+
+    @contextmanager
+    def batch(self) -> Iterator["ResultCache"]:
+        """Group-commit scope: buffered puts land as one segment append.
+
+        Inside the scope, :meth:`put` queues each record's encoded bytes
+        instead of appending them one write at a time; when the outermost
+        scope exits (normally *or* via an exception — whatever was stored
+        stays stored) the queue drains as a single segment write.  Memory
+        and manifest bookkeeping still update per put, so lookups, recency
+        and eviction behave identically inside and outside a batch.  Nests
+        flatly; a no-op for the json and memory-only layouts.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._drain_batch()
+
+    def _drain_batch(self) -> None:
+        if not self._batch_records or self._store is None:
+            return
+        items = [
+            (key, kind, body) for key, (kind, body) in self._batch_records.items()
+        ]
+        self._batch_records = {}
+        started = time.perf_counter()
+        self._store.append_encoded(items)
+        self.io_seconds += time.perf_counter() - started
+        # A failed drain (read-only directory) leaves the entries
+        # memory-only; the advisory manifest self-heals on the next rebuild.
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries, if any, survive)."""
         self._memory.clear()
+        self._prefetched.clear()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -694,13 +990,68 @@ class ResultCache:
         records: list[dict[str, Any]] = []
         for refs, key in ranked[:limit]:
             description: dict[str, Any] = {}
-            if self.cache_dir is not None:
+            payload: dict[str, Any] | None = None
+            if self._store is not None:
+                payload = self._store.get_record(key)
+            if payload is None and self.cache_dir is not None:
                 try:
                     payload = json.loads(
                         (self.cache_dir / f"{key}.json").read_text(encoding="utf-8")
                     )
-                    description = payload.get("workload", {}) or {}
                 except (OSError, ValueError):
-                    description = {}
+                    payload = None
+            if isinstance(payload, dict):
+                description = payload.get("workload", {}) or {}
             records.append({"key": key, "refs": refs, "workload": description})
         return records
+
+    def disk_keys(self) -> set[str]:
+        """Keys currently resolvable from the on-disk store.
+
+        Store-index keys plus (json layout or mixed dirs) per-entry file
+        stems — the ground truth eviction tests and tooling check against,
+        independent of the advisory manifest.
+        """
+        keys: set[str] = set()
+        if self.cache_dir is None:
+            return keys
+        if self._store is not None:
+            keys.update(self._store.keys())
+            if not self._json_fallback:
+                return keys
+        try:
+            for path in self.cache_dir.glob("*.json"):
+                if path.name != _MANIFEST_NAME and not path.name.endswith(".tmp"):
+                    keys.add(path.stem)
+        except OSError:
+            pass
+        return keys
+
+    def describe_layout(self) -> str:
+        """One human-readable line describing the on-disk format.
+
+        Printed by ``--cache-info`` so operators can tell at a glance
+        whether a directory still uses the legacy one-file-per-entry
+        layout (and would benefit from ``cache migrate``).
+        """
+        if self.cache_dir is None:
+            return "memory-only (no cache directory)"
+        if self._store is not None:
+            segments = self._store.segment_count
+            noun = "segment" if segments == 1 else "segments"
+            line = f"segmented pack ({segments} {noun})"
+            if self._json_fallback:
+                line += ", serving legacy json entries as fallback"
+            return line
+        return "json files, one per entry (convert with: cache migrate)"
+
+    def close(self) -> None:
+        """Flush pending state and release store file handles.
+
+        The cache stays usable afterwards (handles reopen lazily); this
+        just bounds open file descriptors for long-lived processes that
+        cycle many caches.
+        """
+        self.flush()
+        if self._store is not None:
+            self._store.close()

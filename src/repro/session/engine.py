@@ -460,6 +460,31 @@ def lookup_block(
     return value, "layer", source
 
 
+def prefetch_block_artifacts(
+    program: Program, config: BitFusionConfig, cache: ResultCache
+) -> None:
+    """Bulk-stage a program's block-level artifacts: one index pass.
+
+    Resolves every block key through :meth:`ResultCache.prefetch`, then
+    the content-addressed layer keys of only the blocks whose block-keyed
+    entry is absent — exactly the records the per-block
+    :func:`lookup_block` loop that follows would read one at a time.  A
+    no-op (``prefetch`` returns ``None``) on json and memory-only caches,
+    where there is no bulk read to exploit; lookup semantics and statistics
+    are identical either way.
+    """
+    block_keys = [
+        block_cache_key(compiled.fingerprint(), config) for compiled in program
+    ]
+    missing = cache.prefetch(block_keys)
+    if missing:
+        cache.prefetch(
+            layer_cache_key(compiled, config)
+            for compiled, block_key in zip(program, block_keys)
+            if block_key in missing
+        )
+
+
 def store_layer_record(
     cache: ResultCache,
     config: BitFusionConfig,
@@ -526,6 +551,7 @@ def try_compose_from_cache(
     program, program_source = cache.get_with_source(program_cache_key(workload))
     if program is None:
         return None, False
+    prefetch_block_artifacts(program, workload.config, cache)
     found: list[tuple[LayerResult, str, str]] = []
     for compiled in program:
         value, level, source = lookup_block(compiled, workload.config, cache)
@@ -901,6 +927,7 @@ def plan_workload(
             deferred_indices=(),
         )
     program, _ = obtain_program(workload, cache, stats)
+    prefetch_block_artifacts(program, workload.config, cache)
     cached: dict[int, LayerResult] = {}
     simulate: list[int] = []
     deferred: list[int] = []
@@ -943,34 +970,38 @@ def compose_plan(
     """Assemble a planned workload's result from cached + worker-simulated blocks.
 
     Fresh worker results are stored under both cache levels as they are
-    composed.  Deferred blocks (claimed by an earlier workload of the batch)
-    are read from the cache now that the claiming unit has been stored; if
-    that unit failed, the block is simulated inline as a last resort so one
-    failure never corrupts a neighbouring workload's result.
+    composed — inside one :meth:`ResultCache.batch` scope, so a plan's
+    store-backs land as a single group-committed segment append instead of
+    one write per artifact.  Deferred blocks (claimed by an earlier
+    workload of the batch) are read from the cache now that the claiming
+    unit has been stored; if that unit failed, the block is simulated
+    inline as a last resort so one failure never corrupts a neighbouring
+    workload's result.
     """
     workload = plan.workload
     assert plan.program is not None
     layers: list[LayerResult] = []
-    for index, compiled in enumerate(plan.program):
-        if index in plan.cached_layers:
-            layers.append(plan.cached_layers[index])
-            continue
-        if index in remote_layers:
-            layer = remote_layers[index]
+    with cache.batch():
+        for index, compiled in enumerate(plan.program):
+            if index in plan.cached_layers:
+                layers.append(plan.cached_layers[index])
+                continue
+            if index in remote_layers:
+                layer = remote_layers[index]
+                store_block_result(cache, workload, compiled, layer)
+                layers.append(layer)
+                continue
+            value, level, source = lookup_block(compiled, workload.config, cache)
+            if value is not None:
+                (stats.blocks if level == "block" else stats.layers).record_hit(source)
+                stats.workers.reused_blocks += 1
+                layers.append(value)
+                continue
+            stats.blocks.record_miss()
+            stats.layers.record_miss()
+            layer = simulator_for(workload.config).run_block(compiled)
             store_block_result(cache, workload, compiled, layer)
             layers.append(layer)
-            continue
-        value, level, source = lookup_block(compiled, workload.config, cache)
-        if value is not None:
-            (stats.blocks if level == "block" else stats.layers).record_hit(source)
-            stats.workers.reused_blocks += 1
-            layers.append(value)
-            continue
-        stats.blocks.record_miss()
-        stats.layers.record_miss()
-        layer = simulator_for(workload.config).run_block(compiled)
-        store_block_result(cache, workload, compiled, layer)
-        layers.append(layer)
     return _compose(workload, plan.program, layers)
 
 

@@ -396,14 +396,22 @@ class WorkerServer:
         return reply
 
     def _store(self, unit: WorkUnit, reply: WorkResult) -> None:
-        """Store fresh layer records into the worker's (shared) cache."""
+        """Store fresh layer records into the worker's (shared) cache.
+
+        One group commit per unit: on a pack-layout shared store the
+        unit's records land as a single append to this worker's own
+        segment (no locks against sibling workers or the coordinator —
+        readers merge all segments at open), followed by one flush of the
+        index sidecar and manifest.
+        """
         try:
             assert unit.program_payload is not None
             program = Program.from_dict(unit.program_payload)
             config = unit.sim_config
             description = {} if unit.workload is None else unit.workload.describe()
-            for (_, layer), compiled in zip(reply.layers, program.blocks):
-                store_layer_record(self.cache, config, compiled, layer, description)
+            with self.cache.batch():
+                for (_, layer), compiled in zip(reply.layers, program.blocks):
+                    store_layer_record(self.cache, config, compiled, layer, description)
             self.cache.flush()
         except Exception:  # noqa: BLE001 — cache warming is best-effort
             pass

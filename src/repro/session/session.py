@@ -154,8 +154,11 @@ class EvaluationSession:
         backend shares the same fault-tolerance and byte-identity
         contracts.
     cache_dir:
-        Optional directory for the persistent JSON artifact store; ``None``
-        keeps the cache in memory only.
+        Optional directory for the persistent artifact store (segmented
+        pack-file layout by default; legacy JSON-per-entry directories are
+        served and migrated transparently — see
+        :mod:`repro.session.store`); ``None`` keeps the cache in memory
+        only.
     cache:
         Pre-built :class:`ResultCache` to share between sessions (mutually
         exclusive with ``cache_dir``).
@@ -220,7 +223,7 @@ class EvaluationSession:
         self.backend.close()
         if self.checkpoint is not None:
             self.checkpoint.close()
-        self.cache.flush()
+        self.cache.close()
 
     def __enter__(self) -> "EvaluationSession":
         return self
@@ -333,9 +336,10 @@ class EvaluationSession:
                 if failures:
                     self._finish_failures(failures, resolved, on_result)
             finally:
-                # One manifest write per executed batch, not one per
-                # artifact — and surviving artifacts are flushed even when a
-                # batch raises for a quarantined workload.
+                # One manifest (and, pack layout, one segment-index) write
+                # per executed batch, not one per artifact — and surviving
+                # artifacts are flushed even when a batch raises for a
+                # quarantined workload.
                 self.cache.flush()
         return [resolved[key] for key in keys]
 

@@ -1,0 +1,544 @@
+"""Segmented pack-file artifact store: append-only segments + index sidecars.
+
+The one-file-per-entry JSON layout (:mod:`repro.session.cache`) pays an
+``open`` + ``write`` + ``rename`` per artifact and a filesystem probe per
+lookup — fine for hundreds of entries, dominant at the 10⁵–10⁶ artifact
+counts sharded sweeps and NAS searches produce.  This module stores the
+same entries in a handful of **append-only pack segments** instead:
+
+* **Record**: a 4-byte big-endian length prefix followed by one compact
+  (``sort_keys``, no whitespace) UTF-8 JSON object ``{"key", "kind",
+  "payload", "workload"}`` — the exact entry shape of the JSON layout,
+  framed the same way the remote worker protocol frames its messages
+  (:mod:`repro.session.remote`), so a record is self-delimiting and a
+  truncated tail (a writer killed mid-append) is detected and dropped at
+  the next scan instead of poisoning the file.
+* **Segment**: ``pack-<pid>-<nonce>.seg``, append-only, owned by exactly
+  one writer process for its lifetime.  Writers never share a segment, so
+  the data path needs no locks — the same per-writer-sibling design the
+  sweep checkpoint journal proved out — and readers merge all segments at
+  open time.  The ``.seg`` suffix keeps segments invisible to the JSON
+  layout's ``*.json`` glob, so both layouts coexist in one directory.
+* **Index sidecar**: ``<segment>.idx``, a JSON map of key → (offset,
+  length, kind) plus the segment size it describes.  Advisory: a missing
+  or stale sidecar (size mismatch after a crash) degrades to one
+  sequential scan of the segment, never an error.  Writers rewrite their
+  own sidecar once per :meth:`SegmentedStore.flush` — one index flush per
+  group commit, not one per record.
+* **Eviction** is **compaction**: dropping a key only marks its record
+  dead; once a closed segment is mostly dead (and its owner is gone — the
+  on-disk size still matches what we scanned), its live records are
+  rewritten into the current writer segment and the file is deleted.
+
+:class:`~repro.session.cache.ResultCache` drives this store when a cache
+directory uses the segmented layout and keeps the JSON-dir layout as a
+read-compatible fallback and correctness oracle; :func:`migrate_json_dir`
+converts an existing JSON-layout directory in place (``python -m
+repro.harness cache migrate``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO, Iterable, Iterator
+
+__all__ = [
+    "SEGMENT_SUFFIX",
+    "INDEX_SUFFIX",
+    "STORE_SCHEMA_VERSION",
+    "SegmentedStore",
+    "encode_body",
+    "encode_record",
+    "iter_records",
+    "migrate_json_dir",
+]
+
+#: Segment files are ``pack-<pid>-<nonce>.seg``; the prefix + suffix pair is
+#: what layout auto-detection and the open-time merge glob for.
+SEGMENT_SUFFIX = ".seg"
+_SEGMENT_GLOB = f"pack-*{SEGMENT_SUFFIX}"
+
+#: Per-segment index sidecar (``<segment>.idx``).  Deliberately *not* a
+#: ``.json`` name: the JSON entry layout globs ``*.json`` and must never
+#: pick a sidecar up as an entry.
+INDEX_SUFFIX = ".idx"
+
+#: Version of the record/sidecar format; bumped on incompatible changes
+#: (readers treat an unknown sidecar schema as stale and rescan).
+STORE_SCHEMA_VERSION = 1
+
+#: Length prefix of one record — the remote protocol's framing struct.
+_LENGTH = struct.Struct(">I")
+
+#: Sanity cap on one record's body; anything larger is treated as a torn
+#: or corrupt tail when scanning (matches the wire protocol's cap).
+MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+
+#: Reused encoder for record bodies: ``json.dumps`` with non-default
+#: keyword arguments constructs a fresh ``JSONEncoder`` per call, which is
+#: measurable per-record overhead on thousand-entry group commits.
+_BODY_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+
+
+def encode_body(key: str, entry: dict[str, Any]) -> bytes:
+    """One record body: compact JSON of the entry plus its key (no prefix)."""
+    return _BODY_ENCODER.encode({"key": key, **entry}).encode("utf-8")
+
+
+def encode_record(key: str, entry: dict[str, Any]) -> bytes:
+    """One length-prefixed record: compact JSON of the entry plus its key."""
+    body = encode_body(key, entry)
+    return _LENGTH.pack(len(body)) + body
+
+
+def iter_records(data: bytes) -> Iterator[tuple[int, int, dict[str, Any]]]:
+    """Yield ``(body_offset, body_length, record)`` from raw segment bytes.
+
+    Stops at the first torn or undecodable record: a writer killed
+    mid-append leaves a truncated tail, and everything before it is intact
+    by construction (single-writer, append-only) — the same
+    truncated-final-line tolerance the checkpoint journal applies.
+    """
+    position = 0
+    total = len(data)
+    while position + _LENGTH.size <= total:
+        (length,) = _LENGTH.unpack_from(data, position)
+        start = position + _LENGTH.size
+        if length > MAX_RECORD_BYTES or start + length > total:
+            return  # torn tail
+        try:
+            record = json.loads(data[start : start + length].decode("utf-8"))
+            if not isinstance(record, dict) or "key" not in record:
+                return
+        except (ValueError, UnicodeDecodeError):
+            return
+        yield start, length, record
+        position = start + length
+
+
+@dataclass
+class _Location:
+    """Where one live record lives: segment name + body offset/length."""
+
+    segment: str
+    offset: int
+    length: int
+    kind: str
+
+
+@dataclass
+class _Segment:
+    """Scanned size and live/dead byte accounting of one segment."""
+
+    size: int
+    live: int = 0
+    dead: int = 0
+
+
+class SegmentedStore:
+    """Pack-segment store of cache entries under one directory.
+
+    Opening the store builds the in-memory key index once — each segment's
+    sidecar when fresh, a sequential scan otherwise — after which lookups
+    and existence probes are dictionary hits instead of per-entry
+    filesystem probes.  All mutation goes through this process's own
+    segment; other writers' segments are strictly read-only here.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self._index: dict[str, _Location] = {}
+        self._segments: dict[str, _Segment] = {}
+        self._handles: dict[str, BinaryIO] = {}
+        self._own_name = f"pack-{os.getpid()}-{uuid.uuid4().hex[:8]}{SEGMENT_SUFFIX}"
+        self._own_handle: BinaryIO | None = None
+        self._own_dirty = False
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    # Open-time merge
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        for path in sorted(self.directory.glob(_SEGMENT_GLOB)):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # compacted away by a concurrent evictor mid-scan
+            state = _Segment(size=size)
+            self._segments[path.name] = state
+            entries = self._read_sidecar(path, size)
+            if entries is None:
+                entries = self._scan_segment(path, size)
+                # Best-effort repair so the next open skips the scan; a
+                # read-only shared directory still serves reads without it.
+                self._write_sidecar(path.name, entries, size)
+            for key, (offset, length, kind) in entries.items():
+                self._admit(key, _Location(path.name, offset, length, kind))
+
+    def _admit(self, key: str, location: _Location) -> None:
+        """Install one live record, retiring any older record of the key."""
+        previous = self._index.get(key)
+        if previous is not None:
+            self._retire(previous)
+        self._index[key] = location
+        self._segments[location.segment].live += location.length
+
+    def _retire(self, location: _Location) -> None:
+        segment = self._segments.get(location.segment)
+        if segment is not None:
+            segment.live -= location.length
+            segment.dead += location.length
+
+    def _read_sidecar(
+        self, path: Path, size: int
+    ) -> dict[str, tuple[int, int, str]] | None:
+        """The sidecar's entries, or None when missing/stale/corrupt."""
+        try:
+            payload = json.loads(
+                path.with_name(path.name + INDEX_SUFFIX).read_text(encoding="utf-8")
+            )
+            if payload.get("schema") != STORE_SCHEMA_VERSION:
+                return None
+            if int(payload.get("segment_bytes", -1)) != size:
+                return None  # the segment grew (or was torn) after this flush
+            entries = {
+                str(key): (int(offset), int(length), str(kind))
+                for key, (offset, length, kind) in payload["entries"].items()
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return entries
+
+    def _scan_segment(self, path: Path, size: int) -> dict[str, tuple[int, int, str]]:
+        """Rebuild one segment's entries by a sequential record scan."""
+        try:
+            data = path.read_bytes()[:size]
+        except OSError:
+            return {}
+        entries: dict[str, tuple[int, int, str]] = {}
+        for offset, length, record in iter_records(data):
+            entries[str(record["key"])] = (offset, length, str(record.get("kind", "unknown")))
+        return entries
+
+    def _write_sidecar(
+        self, name: str, entries: dict[str, tuple[int, int, str]], size: int
+    ) -> None:
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "segment_bytes": size,
+            # Tuples serialize as JSON arrays directly; no list() rebuild.
+            "entries": entries,
+        }
+        path = self.directory / (name + INDEX_SUFFIX)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(_BODY_ENCODER.encode(payload), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            return  # advisory: the next open rescans instead
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> Iterable[str]:
+        return self._index.keys()
+
+    def kind(self, key: str) -> str | None:
+        location = self._index.get(key)
+        return location.kind if location is not None else None
+
+    def entry_bytes(self, key: str) -> int | None:
+        location = self._index.get(key)
+        return location.length if location is not None else None
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def index_entries(self) -> Iterator[tuple[str, str, int]]:
+        """``(key, kind, record_bytes)`` in deterministic (segment, offset) order.
+
+        This is what a manifest rebuild consumes instead of re-reading
+        payloads: the store index already carries every entry's kind and
+        size, so rebuilding never scales with payload bytes.
+        """
+        ordered = sorted(
+            self._index.items(), key=lambda item: (item[1].segment, item[1].offset)
+        )
+        for key, location in ordered:
+            yield key, location.kind, location.length
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def _read_handle(self, name: str) -> BinaryIO | None:
+        handle = self._handles.get(name)
+        if handle is None:
+            try:
+                handle = open(self.directory / name, "rb")  # noqa: SIM115 — cached
+            except OSError:
+                return None
+            self._handles[name] = handle
+        return handle
+
+    def _read_location(self, location: _Location) -> dict[str, Any] | None:
+        handle = self._read_handle(location.segment)
+        if handle is None:
+            return None
+        try:
+            handle.seek(location.offset)
+            body = handle.read(location.length)
+            record = json.loads(body.decode("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def get_record(self, key: str) -> dict[str, Any] | None:
+        """One entry record (``{"key", "kind", "payload", "workload"}``), or None."""
+        location = self._index.get(key)
+        if location is None:
+            return None
+        record = self._read_location(location)
+        if record is None:
+            # Unreadable (e.g. the segment was compacted away underneath a
+            # long-lived reader): a miss, never a crash.
+            self._index.pop(key, None)
+            self._retire(location)
+        return record
+
+    def get_records(self, keys: Iterable[str]) -> dict[str, dict[str, Any]]:
+        """Bulk read: one index pass, reads grouped per segment in offset order."""
+        wanted: dict[str, list[tuple[int, str]]] = {}
+        for key in keys:
+            location = self._index.get(key)
+            if location is not None:
+                wanted.setdefault(location.segment, []).append((location.offset, key))
+        out: dict[str, dict[str, Any]] = {}
+        for segment in sorted(wanted):
+            for _, key in sorted(wanted[segment]):
+                record = self.get_record(key)
+                if record is not None:
+                    out[key] = record
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Writes (this process's own segment only)
+    # ------------------------------------------------------------------ #
+    def _writer(self) -> BinaryIO | None:
+        if self._own_handle is None:
+            try:
+                self._own_handle = open(self.directory / self._own_name, "ab")
+            except OSError:
+                return None  # read-only shared directory: serve reads only
+            self._segments.setdefault(self._own_name, _Segment(size=0))
+        return self._own_handle
+
+    def append_encoded(
+        self, items: list[tuple[str, str, bytes]]
+    ) -> dict[str, int] | None:
+        """Group-commit pre-encoded record bodies: one segment write.
+
+        ``items`` is ``(key, kind, body)`` with ``body`` the compact JSON
+        record bytes (:func:`encode_record` without the length prefix).
+        Returns ``{key: body_bytes}`` on success, ``None`` when the
+        directory is unwritable (callers keep those entries memory-only).
+        """
+        if not items:
+            return {}
+        handle = self._writer()
+        if handle is None:
+            return None
+        segment = self._segments[self._own_name]
+        blob = bytearray()
+        placed: list[tuple[str, _Location]] = []
+        offset = segment.size
+        for key, kind, body in items:
+            blob += _LENGTH.pack(len(body))
+            offset += _LENGTH.size
+            placed.append((key, _Location(self._own_name, offset, len(body), kind)))
+            blob += body
+            offset += len(body)
+        try:
+            handle.write(bytes(blob))
+            handle.flush()
+        except OSError:
+            return None
+        segment.size = offset
+        for key, location in placed:
+            self._admit(key, location)
+        self._own_dirty = True
+        return {key: location.length for key, location in placed}
+
+    def append(self, items: list[tuple[str, dict[str, Any]]]) -> dict[str, int] | None:
+        """Group-commit entry dicts (see :meth:`append_encoded`)."""
+        encoded = [
+            (key, str(entry.get("kind", "unknown")), encode_body(key, entry))
+            for key, entry in items
+        ]
+        return self.append_encoded(encoded)
+
+    def discard(self, key: str) -> None:
+        """Drop a key from the live index (its record bytes become dead)."""
+        location = self._index.pop(key, None)
+        if location is not None:
+            self._retire(location)
+
+    def compact(self, aggressive: bool = False) -> int:
+        """Rewrite dead-heavy idle segments; returns bytes reclaimed.
+
+        A segment qualifies when it carries dead bytes — at least as many
+        as live ones by default, *any* when ``aggressive`` (the eviction
+        path uses this: an evicted record must not be resurrected by the
+        next reader's scan, so the segment holding it is rewritten now) —
+        and it is safely idle: not this process's open writer segment, and
+        its on-disk size still equals what this process scanned (a size
+        that grew means another live writer owns it — its fresh records
+        are not in our index and must not be thrown away).  Live records
+        are appended to the writer segment before the old file (and its
+        sidecar) is unlinked, so compaction is just another group commit
+        plus a delete; at most one rewrite per foreign segment per writer
+        lifetime, since the copied records then live in the own segment
+        where discards are plain dead-byte marks.
+        """
+        reclaimed = 0
+        for name in list(self._segments):
+            segment = self._segments[name]
+            if name == self._own_name or segment.dead == 0:
+                continue
+            if not aggressive and segment.dead < segment.live:
+                continue
+            try:
+                if (self.directory / name).stat().st_size != segment.size:
+                    continue  # another writer still appends here
+            except OSError:
+                continue
+            live = [
+                (key, location)
+                for key, location in self._index.items()
+                if location.segment == name
+            ]
+            moved: list[tuple[str, str, bytes]] = []
+            for key, location in live:
+                record = self._read_location(location)
+                if record is None:
+                    continue
+                body = _BODY_ENCODER.encode(record).encode("utf-8")
+                moved.append((key, location.kind, body))
+            if moved and self.append_encoded(moved) is None:
+                continue  # unwritable: keep the old segment serving reads
+            handle = self._handles.pop(name, None)
+            if handle is not None:
+                handle.close()
+            try:
+                (self.directory / name).unlink(missing_ok=True)
+                (self.directory / (name + INDEX_SUFFIX)).unlink(missing_ok=True)
+            except OSError:
+                pass
+            reclaimed += segment.size
+            del self._segments[name]
+        return reclaimed
+
+    def flush(self) -> None:
+        """Flush the writer segment's index sidecar (one write per batch)."""
+        if not self._own_dirty:
+            return
+        segment = self._segments.get(self._own_name)
+        if segment is None:
+            return
+        entries = {
+            key: (location.offset, location.length, location.kind)
+            for key, location in self._index.items()
+            if location.segment == self._own_name
+        }
+        self._write_sidecar(self._own_name, entries, segment.size)
+        self._own_dirty = False
+
+    def close(self) -> None:
+        self.flush()
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+        if self._own_handle is not None:
+            self._own_handle.close()
+            self._own_handle = None
+
+
+# ---------------------------------------------------------------------- #
+# JSON-dir migration
+# ---------------------------------------------------------------------- #
+def migrate_json_dir(cache_dir: str | Path, batch: int = 512) -> tuple[int, int]:
+    """Convert a JSON-layout cache directory to the segmented layout, in place.
+
+    Every per-entry ``<key>.json`` file is appended to pack segments (in
+    batched group commits) and then deleted; ``manifest.json`` survives
+    with its recency/refs bookkeeping intact (entry sizes are updated to
+    the record sizes).  Unreadable entry files are skipped, not fatal.
+    Returns ``(entries_migrated, record_bytes_written)``.
+    """
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        raise ValueError(f"cache directory {str(directory)!r} does not exist")
+    store = SegmentedStore(directory)
+    migrated = 0
+    written = 0
+    new_sizes: dict[str, int] = {}
+    pending: list[tuple[Path, str, dict[str, Any]]] = []
+
+    def commit() -> None:
+        nonlocal migrated, written
+        if not pending:
+            return
+        sizes = store.append([(key, entry) for _, key, entry in pending])
+        if sizes is None:
+            raise OSError(f"cache directory {str(directory)!r} is not writable")
+        for path, key, _ in pending:
+            path.unlink(missing_ok=True)
+            migrated += 1
+            written += sizes[key]
+            new_sizes[key] = sizes[key]
+        pending.clear()
+
+    for path in sorted(directory.glob("*.json")):
+        if path.name == "manifest.json" or path.name.endswith(".tmp"):
+            continue
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(entry, dict) or "payload" not in entry:
+                continue
+        except (OSError, ValueError):
+            continue  # corrupt entries are misses in both layouts; drop from migration
+        pending.append((path, path.stem, entry))
+        if len(pending) >= batch:
+            commit()
+    commit()
+    store.close()
+
+    # Keep the manifest's recency and reference counts; only entry sizes
+    # change (record bytes instead of file bytes).  A missing or stale
+    # manifest is fine — the next open rebuilds it from the store index.
+    manifest_path = directory / "manifest.json"
+    try:
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        entries = payload.get("entries", {})
+        if isinstance(entries, dict):
+            for key, size in new_sizes.items():
+                if isinstance(entries.get(key), dict):
+                    entries[key]["bytes"] = size
+            tmp = manifest_path.with_suffix(f".json.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            tmp.replace(manifest_path)
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    return migrated, written

@@ -52,8 +52,14 @@ def _stats(tag: str) -> ProgramStats:
     )
 
 
-def _entry_stems(tmp_path) -> set[str]:
-    return {p.stem for p in tmp_path.glob("*.json")} - {"manifest"}
+def _live_keys(cache_dir) -> set[str]:
+    """Keys a fresh reader can resolve from disk — layout-independent.
+
+    The pack layout has no per-entry files to glob, so eviction tests check
+    what a brand-new :class:`ResultCache` actually serves (store-index keys
+    plus any legacy per-entry files).
+    """
+    return ResultCache(cache_dir).disk_keys()
 
 
 class TestManifest:
@@ -151,24 +157,27 @@ class TestManifest:
 
 class TestLruEviction:
     def test_size_budget_evicts_oldest_entries(self, tmp_path):
-        probe = ResultCache(tmp_path)
+        # Probe one entry's stored size in a scratch directory (all the
+        # _stats payloads here are the same size by construction).
+        probe = ResultCache(tmp_path / "probe")
         probe.put("probe", _stats("p"))
         probe.flush()
-        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
+        manifest = json.loads(
+            (tmp_path / "probe" / "manifest.json").read_text(encoding="utf-8")
+        )
         entry_bytes = manifest["entries"]["probe"]["bytes"]
-        (tmp_path / "probe.json").unlink()
-        (tmp_path / "manifest.json").unlink()
 
         # Budget for roughly two entries; writing four must keep it bounded.
-        cache = ResultCache(tmp_path, max_bytes=int(entry_bytes * 2.5))
+        cache_dir = tmp_path / "real"
+        cache = ResultCache(cache_dir, max_bytes=int(entry_bytes * 2.5))
         for index in range(4):
             cache.put(f"key{index}", _stats(str(index)))
         cache.flush()
-        stems = _entry_stems(tmp_path)
-        assert "key3" in stems  # the newest entry always survives
-        assert "key0" not in stems  # the oldest went first
-        manifest = json.loads((tmp_path / "manifest.json").read_text(encoding="utf-8"))
-        assert set(manifest["entries"]) == stems
+        keys = _live_keys(cache_dir)
+        assert "key3" in keys  # the newest entry always survives
+        assert "key0" not in keys  # the oldest went first
+        manifest = json.loads((cache_dir / "manifest.json").read_text(encoding="utf-8"))
+        assert set(manifest["entries"]) == keys
         total = sum(entry["bytes"] for entry in manifest["entries"].values())
         assert total <= int(entry_bytes * 2.5)
 
@@ -183,10 +192,10 @@ class TestLruEviction:
         reader = ResultCache(tmp_path, max_bytes=total)
         assert reader.get("key0") is not None  # touch: key0 becomes most recent
         reader.put("key3", _stats("3"))  # over budget: evict LRU, now key1
-        stems = _entry_stems(tmp_path)
-        assert "key0" in stems
-        assert "key3" in stems
-        assert "key1" not in stems
+        keys = _live_keys(tmp_path)
+        assert "key0" in keys
+        assert "key3" in keys
+        assert "key1" not in keys
 
     def test_memory_hits_touch_recency_so_hot_entries_survive(self, tmp_path):
         # Entries promoted into memory are the hottest ones; a memory hit
@@ -204,10 +213,10 @@ class TestLruEviction:
         assert reader.get("key1") is not None  # key1 now most recent...
         assert reader.get("key0") is not None  # ...until this memory hit
         reader.put("key2", _stats("2"))  # over budget: evict the LRU entry
-        stems = _entry_stems(tmp_path)
-        assert "key0" in stems  # touched by the memory hit, survives
-        assert "key2" in stems
-        assert "key1" not in stems  # genuinely least recently used
+        keys = _live_keys(tmp_path)
+        assert "key0" in keys  # touched by the memory hit, survives
+        assert "key2" in keys
+        assert "key1" not in keys  # genuinely least recently used
 
     def test_eviction_drops_disk_entry_not_correctness(self, tmp_path):
         workload = Workload.bitfusion("LeNet-5", batch_size=2)
@@ -297,8 +306,10 @@ class TestContentAddressedLayerLevel:
         # vanish (here: deleted; in a model-family sweep: never written for
         # the sibling network) and every block resolves through the
         # content-addressed layer level — zero re-simulation, byte-identical.
+        # The legacy json layout is forced so entries can be deleted
+        # per-file; the pack-store equivalent lives in test_pack_store.py.
         workload = Workload.bitfusion("LeNet-5", batch_size=4)
-        with EvaluationSession(cache_dir=tmp_path) as first:
+        with EvaluationSession(cache=ResultCache(tmp_path, layout="json")) as first:
             fresh = first.run(workload)
         blocks = len(compile_program(workload))
         removed = 0
@@ -331,14 +342,24 @@ class TestContentAddressedLayerLevel:
     def test_layer_entries_are_stored_name_free(self, tmp_path):
         # The stored layer-level payload must not depend on which network
         # (or layer name) wrote it first, or the dedupe would leak names.
+        # Checked against the raw stored record in both layouts.
         workload = Workload.bitfusion("LeNet-5", batch_size=4)
-        with EvaluationSession(cache_dir=tmp_path) as session:
+        with EvaluationSession(cache=ResultCache(tmp_path / "json", layout="json")) as session:
             session.run(workload)
         compiled = compile_program(workload)[0]
         key = layer_cache_key(compiled, workload.config)
-        entry = json.loads((tmp_path / f"{key}.json").read_text(encoding="utf-8"))
+        entry = json.loads((tmp_path / "json" / f"{key}.json").read_text(encoding="utf-8"))
         assert entry["kind"] == "layer"
         assert entry["payload"]["name"] == ""
+
+        with EvaluationSession(cache=ResultCache(tmp_path / "pack", layout="pack")) as session:
+            session.run(workload)
+        from repro.session import SegmentedStore
+
+        record = SegmentedStore(tmp_path / "pack").get_record(key)
+        assert record is not None
+        assert record["kind"] == "layer"
+        assert record["payload"]["name"] == ""
 
 
 class TestLayerRecencyAndReuseStats:
@@ -372,9 +393,9 @@ class TestLayerRecencyAndReuseStats:
         value, level, source = lookup_block(compiled_a, config, reader)
         assert (level, source) == ("block", "memory")  # served by the promotion
         reader.put("filler", _stats("f"))  # over budget: evict the LRU entry
-        stems = _entry_stems(tmp_path)
-        assert key_a in stems  # the aliased touch kept it hot
-        assert key_b not in stems  # genuinely least recently used
+        keys = _live_keys(tmp_path)
+        assert key_a in keys  # the aliased touch kept it hot
+        assert key_b not in keys  # genuinely least recently used
 
     def test_cache_info_reports_layer_reuse_statistics(self, tmp_path):
         workload = Workload.bitfusion("LeNet-5", batch_size=4)

@@ -28,6 +28,7 @@ from repro.isa.compiler import FusionCompiler
 from repro.isa.program import CompiledBlock, Program
 from repro.session import (
     EvaluationSession,
+    ResultCache,
     Workload,
     compile_program,
     execute_workload,
@@ -164,11 +165,14 @@ class TestStagedPipelineEquivalence:
     def test_disk_restored_program_simulates_byte_identical(self, tmp_path):
         workload = Workload.bitfusion("LeNet-5", batch_size=4)
         monolithic = execute_workload(workload)
-        with EvaluationSession(cache_dir=tmp_path) as first:
+        # The legacy json layout is forced so block records can be deleted
+        # per-file below; the pack-store path is covered in
+        # test_pack_store.py.
+        with EvaluationSession(cache=ResultCache(tmp_path, layout="json")) as first:
             first.run(workload)
         # A fresh session restores the compiled program from disk but must
         # re-simulate every block: same result, bit for bit.
-        with EvaluationSession(cache_dir=tmp_path) as second:
+        with EvaluationSession(cache=ResultCache(tmp_path, layout="json")) as second:
             second.cache.clear_memory()
             for path in tmp_path.glob("*.json"):
                 entry = path.read_text(encoding="utf-8")

@@ -160,8 +160,10 @@ class TestResultCache:
             cache.put("key", object())
 
     def test_corrupted_block_artifact_is_a_miss_and_gets_rewritten(self, tmp_path):
+        # Json layout throughout: the corruption is injected per entry file
+        # (pack-record torn tails are covered in test_pack_store.py).
         workload = Workload.bitfusion("LeNet-5", batch_size=4)
-        with EvaluationSession(cache_dir=tmp_path) as first:
+        with EvaluationSession(cache=ResultCache(tmp_path, layout="json")) as first:
             fresh = first.run(workload)
         program = compile_program(workload)
         # Corrupt both cache levels of block 0 (block-keyed and
@@ -190,8 +192,9 @@ class TestResultCache:
     def test_corrupted_block_entry_is_served_by_the_layer_level(self, tmp_path):
         # When only the block-keyed entry is corrupt, the content-addressed
         # layer entry steps in: no re-simulation, byte-identical result.
+        # Json layout: the corruption is injected per entry file.
         workload = Workload.bitfusion("LeNet-5", batch_size=4)
-        with EvaluationSession(cache_dir=tmp_path) as first:
+        with EvaluationSession(cache=ResultCache(tmp_path, layout="json")) as first:
             fresh = first.run(workload)
         program = compile_program(workload)
         corrupted = block_cache_key(program[0].fingerprint(), workload.config)
